@@ -1,0 +1,199 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§V). Each benchmark runs one experiment end-to-end on the simulator
+// testbed and reports custom metrics (mean ETR, HR@5, NDCG@5, …) so the
+// shapes can be compared against the paper. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiments share one lazily-built suite (training dataset + trained
+// LITE tuner), so the first benchmark to need it pays the training cost.
+package lite
+
+import (
+	"sync"
+	"testing"
+
+	"lite/internal/experiments"
+)
+
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *experiments.Suite
+)
+
+// suite returns the shared benchmark suite, sized for a single-core runner:
+// slightly fewer sampled configurations and epochs than the litebench
+// defaults, same structure.
+func suite() *experiments.Suite {
+	benchSuiteOnce.Do(func() {
+		opts := experiments.DefaultOptions()
+		opts.ConfigsPerInstance = 6
+		opts.NECS.Epochs = 8
+		benchSuite = experiments.NewSuite(opts)
+	})
+	return benchSuite
+}
+
+// BenchmarkFigure1 regenerates the motivation sweeps: execution time vs
+// executor.cores and the cores×memory grid for PageRank and TriangleCount.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure1(suite())
+		b.ReportMetric(float64(r.BestCores["PageRank"]), "PR-best-cores")
+		b.ReportMetric(float64(r.BestCores["TriangleCount"]), "TC-best-cores")
+	}
+}
+
+// BenchmarkFigure9 regenerates the stage-based code organization
+// statistics: instance amplification and token growth.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure9(suite())
+		var amp float64
+		for _, app := range r.Apps {
+			amp += r.Amplification[app]
+		}
+		b.ReportMetric(amp/float64(len(r.Apps)), "mean-amplification-x")
+	}
+}
+
+// BenchmarkTable6 regenerates the end-to-end tuning comparison (and the
+// Figure 7 ETR matrix): Default/Manual/MLP/BO/DDPG/DDPG-C/LITE on all 15
+// applications, large data, cluster C.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table6(suite())
+		b.ReportMetric(r.MeanETR("LITE"), "LITE-ETR")
+		b.ReportMetric(r.MeanETR("BO"), "BO-ETR")
+		b.ReportMetric(r.MeanETR("DDPG"), "DDPG-ETR")
+		b.ReportMetric(r.MeanSeconds("LITE"), "LITE-mean-s")
+		b.ReportMetric(r.LITEOverheadSeconds, "LITE-overhead-s")
+	}
+}
+
+// BenchmarkFigure8 regenerates the tuning-overhead case study
+// (DecisionTree, LinearRegression): BO/DDPG best-so-far curves vs LITE's
+// single sub-second recommendation.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure8(suite())
+		b.ReportMetric(r.LITEPoints["DecisionTree"].BestSeconds, "DT-LITE-s")
+		b.ReportMetric(r.LITEPoints["LinearRegression"].BestSeconds, "LR-LITE-s")
+	}
+}
+
+// BenchmarkTable7 regenerates the ranking ablation: {LightGBM,MLP} ×
+// {W,S,WC,SC,SCG} plus GCN/LSTM/Transformer/NECS, on clusters A/B/C and
+// large jobs.
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table7(suite())
+		b.ReportMetric(r.Scores["NECS"]["C"].HR, "NECS-C-HR@5")
+		b.ReportMetric(r.Scores["NECS"]["C"].NDCG, "NECS-C-NDCG@5")
+		b.ReportMetric(r.Scores["NECS"]["Large"].NDCG, "NECS-Large-NDCG@5")
+		b.ReportMetric(r.Scores["LightGBM+SCG"]["C"].NDCG, "GBM-SCG-C-NDCG@5")
+	}
+}
+
+// BenchmarkTable8 regenerates both halves of Table VIII: RFR point
+// prediction vs LITE, and Random/LHS/ACG candidate sampling under the same
+// NECS ranker.
+func BenchmarkTable8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := experiments.Table8a(suite())
+		c := experiments.Table8b(suite())
+		b.ReportMetric(a.LITEETR, "LITE-ETR")
+		b.ReportMetric(a.RFRETR, "RFR-ETR")
+		b.ReportMetric(c.MeanTopSeconds["ACG"], "ACG-top1-s")
+		b.ReportMetric(c.MeanTopSeconds["Random"], "Random-top1-s")
+	}
+}
+
+// BenchmarkTable9 regenerates the Adaptive Model Update evaluation: static
+// NECS vs NECS_u per cluster with Wilcoxon significance.
+func BenchmarkTable9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table9(suite())
+		b.ReportMetric(r.Updated["C"].NDCG-r.Static["C"].NDCG, "C-NDCG-gain")
+		b.ReportMetric(r.PValueNDCG["C"], "C-p-value")
+	}
+}
+
+// BenchmarkTable10 regenerates the cold-start sweep: leave-one-app-out
+// retraining and ETR of the recommendation for the never-seen application.
+func BenchmarkTable10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table10(suite())
+		b.ReportMetric(r.MeanETR, "mean-cold-ETR")
+	}
+}
+
+// BenchmarkTable11 regenerates the warm/cold ranking comparison including
+// the Cold-UNK (no oov token) ablation.
+func BenchmarkTable11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table11(suite())
+		b.ReportMetric(r.Scores["NECS"]["warm"].NDCG, "NECS-warm-NDCG@5")
+		b.ReportMetric(r.Scores["NECS"]["cold"].NDCG, "NECS-cold-NDCG@5")
+		b.ReportMetric(r.Scores["NECS"]["cold-UNK"].NDCG, "NECS-coldUNK-NDCG@5")
+	}
+}
+
+// BenchmarkFigure10 regenerates the never-seen-fraction sweep (reduced
+// grid for the single-core runner; litebench runs the full sweep).
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure10(suite(), []int{3, 8}, 1)
+		b.ReportMetric(r.HR[0], "HR@5-at-20%")
+		b.ReportMetric(r.HR[len(r.HR)-1], "HR@5-at-53%")
+	}
+}
+
+// BenchmarkTable12 regenerates the cross-environment study: NECS_AB /
+// NECS_C / NECS_all evaluated on cluster C.
+func BenchmarkTable12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table12(suite())
+		b.ReportMetric(r.Scores["NECS_all"].NDCG, "all-NDCG@5")
+		b.ReportMetric(r.Scores["NECS_AB"].NDCG, "AB-NDCG@5")
+	}
+}
+
+// BenchmarkColdStartOverhead regenerates the §V-I instrumentation-overhead
+// analysis for cold-start applications.
+func BenchmarkColdStartOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ColdStartOverhead(suite())
+		var oh, saved float64
+		for _, app := range r.Apps {
+			oh += r.InstrumentSeconds[app]
+			saved += r.SavedSeconds[app]
+		}
+		n := float64(len(r.Apps))
+		b.ReportMetric(oh/n, "mean-overhead-s")
+		b.ReportMetric(saved/n, "mean-saved-s")
+	}
+}
+
+// BenchmarkExtraBaselines runs the beyond-paper comparison against the
+// related-work approaches the paper surveys in §VI (Ernest, AutoTune, DAC).
+func BenchmarkExtraBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Extra(suite())
+		b.ReportMetric(r.MeanETR("LITE"), "LITE-ETR")
+		b.ReportMetric(r.MeanETR("Ernest"), "Ernest-ETR")
+		b.ReportMetric(r.MeanETR("AutoTune"), "AutoTune-ETR")
+		b.ReportMetric(r.MeanETR("DAC"), "DAC-ETR")
+	}
+}
+
+// BenchmarkAblation runs the design-choice ablations DESIGN.md calls out:
+// CNN kernel sets, tower vs flat head, and the ACG σ scale.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ablation(suite())
+		b.ReportMetric(r.KernelScores["k=[2,3,4]"].NDCG, "multi-kernel-NDCG@5")
+		b.ReportMetric(r.KernelScores["k=[3]"].NDCG, "single-kernel-NDCG@5")
+		b.ReportMetric(r.SigmaSeconds[1], "sigma1.0-top1-s")
+	}
+}

@@ -1,0 +1,81 @@
+// Adaptive Model Update: fine-tune NECS on production feedback via
+// adversarial learning (paper §IV-B). The source domain is the small-data
+// training set; the target domain is large-data runs on cluster C. The
+// example shows (1) the domain gap in prediction error, (2) the update
+// closing it, and (3) the domains becoming harder to distinguish.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lite/internal/core"
+	"lite/internal/instrument"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+func main() {
+	apps := []*workload.App{
+		workload.ByName("LinearRegression"),
+		workload.ByName("SVM"),
+		workload.ByName("KMeans"),
+		workload.ByName("WordCount"),
+	}
+	opts := core.DefaultTrainOptions()
+	opts.Collect.ConfigsPerInstance = 8
+	fmt.Println("offline training on small-data runs…")
+	tuner, ds := core.Train(apps, opts)
+	model := tuner.Model
+	source := core.EncodeAll(model.Encoder, ds.Instances)
+
+	// Collect target-domain feedback: recommended-and-executed large jobs.
+	rng := rand.New(rand.NewSource(7))
+	var targetRaw []instrument.StageInstance
+	env := sparksim.ClusterC
+	for _, app := range apps {
+		data := app.Spec.MakeData(app.Sizes.Test)
+		for i := 0; i < 4; i++ {
+			cfg := core.ForceFeasible(sparksim.RandomConfig(rng), env)
+			run := instrument.Run(app.Spec, data, env, cfg)
+			targetRaw = append(targetRaw, run.Stages...)
+		}
+	}
+	target := core.EncodeAll(model.Encoder, targetRaw)
+	fmt.Printf("collected %d target-domain (large-data) stage instances\n\n", len(target))
+
+	mse := func(m *core.NECS) float64 {
+		var s float64
+		for _, x := range target {
+			d := m.Predict(x) - x.Y
+			s += d * d
+		}
+		return s / float64(len(target))
+	}
+	amuCfg := core.DefaultAMUConfig()
+	accBefore := core.DomainAccuracy(model, sample(source, 120, rng), target, amuCfg, rng)
+	fmt.Printf("before update: target-domain MSE (log space) = %.3f, domain-classifier accuracy = %.2f\n",
+		mse(model), accBefore)
+
+	core.AdaptiveModelUpdate(model, sample(source, 200, rng), target, amuCfg, rng)
+
+	accAfter := core.DomainAccuracy(model, sample(source, 120, rng), target, amuCfg, rng)
+	fmt.Printf("after update:  target-domain MSE (log space) = %.3f, domain-classifier accuracy = %.2f\n",
+		mse(model), accAfter)
+	fmt.Println("\nThe prediction-loss drop on the target domain is the effect that matters")
+	fmt.Println("(paper Table IX). The domain classifier often stays accurate because the")
+	fmt.Println("datasize itself is a model input — the gradient-reversal pressure pushes")
+	fmt.Println("the *hidden* representations together only as far as the prediction loss")
+	fmt.Println("allows (accuracy → 0.5 would be the full adversarial equilibrium).")
+}
+
+func sample(data []*core.Encoded, n int, rng *rand.Rand) []*core.Encoded {
+	if n >= len(data) {
+		return data
+	}
+	out := make([]*core.Encoded, n)
+	for i, j := range rng.Perm(len(data))[:n] {
+		out[i] = data[j]
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+// Baselines shoot-out on one application: LITE vs Bayesian optimization vs
+// DDPG vs expert rules on a large Terasort job — a miniature of Table VI
+// with the tuning-overhead story of Figure 8.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lite/internal/experiments"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+func main() {
+	opts := experiments.DefaultOptions()
+	opts.ConfigsPerInstance = 6
+	suite := experiments.NewSuite(opts)
+
+	app := workload.ByName("Terasort")
+	data := app.Spec.MakeData(app.Sizes.Test)
+	env := sparksim.ClusterC
+	budget := 7200.0
+
+	fmt.Printf("tuning %s on %.0f MB, cluster C, budget %.0f s of trial executions\n\n",
+		app.Spec.Name, data.SizeMB, budget)
+
+	def := sparksim.Simulate(app.Spec, data, env, sparksim.DefaultConfig()).Seconds
+	fmt.Printf("%-8s %10.1f s   (no tuning)\n", "Default", def)
+
+	methods := []experiments.TunerMethod{
+		experiments.ManualTuner{},
+		experiments.NewBOTuner(suite),
+		experiments.NewDDPGTuner(suite, false),
+	}
+	for i, m := range methods {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		res := m.Tune(app, data, env, budget, rng)
+		fmt.Printf("%-8s %10.1f s   (%d trials, %.0f s of trial time)\n",
+			m.Name(), res.BestSeconds, res.Trials,
+			res.Trace[len(res.Trace)-1].OverheadSeconds)
+	}
+
+	tuner := suite.Tuner() // trains LITE on the shared offline dataset
+	rec := tuner.Recommend(app.Spec, data, env)
+	actual := sparksim.Simulate(app.Spec, data, env, rec.Config).Seconds
+	fmt.Printf("%-8s %10.1f s   (0 trials, %v decision time)\n", "LITE", actual, rec.Overhead)
+	fmt.Printf("\nLITE speedup over default: %.1fx\n", def/actual)
+}

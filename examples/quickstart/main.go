@@ -1,0 +1,47 @@
+// Quickstart: train LITE offline on small-data runs, then get a knob
+// recommendation for a large PageRank job — the end-to-end flow of
+// Figure 2 of the paper in ~40 lines.
+package main
+
+import (
+	"fmt"
+
+	"lite/internal/core"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+func main() {
+	// Offline phase: collect small-data training runs for a handful of
+	// applications and train the NECS estimator + ACG models.
+	apps := []*workload.App{
+		workload.ByName("PageRank"),
+		workload.ByName("KMeans"),
+		workload.ByName("Terasort"),
+		workload.ByName("WordCount"),
+	}
+	opts := core.DefaultTrainOptions()
+	opts.Collect.ConfigsPerInstance = 8
+	fmt.Println("training LITE on small-data runs of", len(apps), "applications…")
+	tuner, ds := core.Train(apps, opts)
+	fmt.Printf("collected %d application runs (%d stage-level instances)\n\n",
+		len(ds.Runs), len(ds.Instances))
+
+	// Online phase: recommend knobs for PageRank on a 4 GB graph in the
+	// production cluster (cluster C: 8 nodes × 16 cores, 16 GB, 1 Gbps).
+	app := workload.ByName("PageRank")
+	data := app.Spec.MakeData(app.Sizes.Test)
+	env := sparksim.ClusterC
+	rec := tuner.Recommend(app.Spec, data, env)
+
+	fmt.Printf("recommendation computed in %v (paper budget: < 2 s)\n", rec.Overhead)
+	fmt.Println("recommended configuration:")
+	fmt.Println(" ", rec.Config)
+
+	// Verify against the testbed.
+	def := sparksim.Simulate(app.Spec, data, env, sparksim.DefaultConfig())
+	got := sparksim.Simulate(app.Spec, data, env, rec.Config)
+	fmt.Printf("\ndefault configuration: %8.1f s\n", def.Seconds)
+	fmt.Printf("LITE recommendation:   %8.1f s  (%.1fx speedup)\n",
+		got.Seconds, def.Seconds/got.Seconds)
+}

@@ -1,0 +1,3 @@
+module lite
+
+go 1.22

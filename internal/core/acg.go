@@ -1,0 +1,230 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lite/internal/forest"
+	"lite/internal/instrument"
+	"lite/internal/sparksim"
+	"lite/internal/stats"
+)
+
+// CandidateGenerator implements Adaptive Candidate Generation (paper
+// §IV-A): per knob d, a Random Forest Regression model maps (input
+// datasize, application) to a promising "mean value" RFR^d(a_w, d_w); the
+// search region is [RFR−σ^d, RFR+σ^d] where σ^d is the standard deviation
+// of that knob over the top-40% fastest training application instances.
+type CandidateGenerator struct {
+	models  [sparksim.NumKnobs]*forest.Forest
+	sigma   [sparksim.NumKnobs]float64
+	appIdx  map[string]int
+	numApps int
+
+	// SigmaScale multiplies the span σ^d of every knob's search region
+	// (1 = the paper's setting; the ablation benches sweep it).
+	SigmaScale float64
+}
+
+// acgFeatures builds the RFR input: log-scaled datasize, iteration count
+// and a one-hot application indicator.
+func (g *CandidateGenerator) acgFeatures(appName string, data sparksim.DataSpec) []float64 {
+	f := make([]float64, 2+g.numApps)
+	df := data.Features()
+	f[0] = df[0] // log rows
+	f[1] = df[2] // iterations
+	if i, ok := g.appIdx[appName]; ok {
+		f[2+i] = 1
+	}
+	return f
+}
+
+// NewCandidateGenerator trains the per-knob RFR models from application
+// runs. Only the top 40% of runs by execution time (per application) are
+// used, so the models regress toward knob values that worked well.
+func NewCandidateGenerator(runs []instrument.AppInstance, rng *rand.Rand) *CandidateGenerator {
+	g := &CandidateGenerator{appIdx: map[string]int{}}
+	for i := range runs {
+		if _, ok := g.appIdx[runs[i].AppName]; !ok {
+			g.appIdx[runs[i].AppName] = g.numApps
+			g.numApps++
+		}
+	}
+
+	// Select the top-40% fastest runs per application.
+	byApp := map[string][]int{}
+	for i := range runs {
+		byApp[runs[i].AppName] = append(byApp[runs[i].AppName], i)
+	}
+	var good []int
+	for _, idxs := range byApp {
+		sort.Slice(idxs, func(a, b int) bool {
+			return runs[idxs[a]].Result.Seconds < runs[idxs[b]].Result.Seconds
+		})
+		cut := (len(idxs)*2 + 4) / 5 // 40%, at least 1
+		if cut < 1 {
+			cut = 1
+		}
+		good = append(good, idxs[:cut]...)
+	}
+
+	x := make([][]float64, len(good))
+	for j, i := range good {
+		x[j] = g.acgFeatures(runs[i].AppName, runs[i].Data)
+	}
+	params := forest.ForestParams{NumTrees: 30, Tree: forest.TreeParams{MaxDepth: 8, MinSamplesLeaf: 2}}
+	for d := 0; d < sparksim.NumKnobs; d++ {
+		y := make([]float64, len(good))
+		vals := make([]float64, len(good))
+		for j, i := range good {
+			y[j] = runs[i].Config[d]
+			vals[j] = runs[i].Config[d]
+		}
+		g.models[d] = forest.FitForest(x, y, params, rng)
+		g.sigma[d] = stats.StdDev(vals)
+		if g.sigma[d] == 0 {
+			// Degenerate: fall back to a tenth of the knob range.
+			g.sigma[d] = (sparksim.Knobs[d].Max - sparksim.Knobs[d].Min) / 10
+		}
+	}
+	return g
+}
+
+// Region returns the per-knob search interval [lo, hi] for the application
+// on the given data (Equation 7).
+func (g *CandidateGenerator) Region(appName string, data sparksim.DataSpec) (lo, hi sparksim.Config) {
+	f := g.acgFeatures(appName, data)
+	scale := g.SigmaScale
+	if scale <= 0 {
+		scale = 1
+	}
+	for d := 0; d < sparksim.NumKnobs; d++ {
+		center := g.models[d].Predict(f)
+		k := sparksim.Knobs[d]
+		l := center - scale*g.sigma[d]
+		h := center + scale*g.sigma[d]
+		if l < k.Min {
+			l = k.Min
+		}
+		if h > k.Max {
+			h = k.Max
+		}
+		if l > h {
+			l, h = h, l
+		}
+		lo[d] = l
+		hi[d] = h
+	}
+	return lo, hi
+}
+
+// Sample draws n candidate configurations uniformly from the region of
+// interest (paper: "we randomly sample a small number of candidates in the
+// search space").
+func (g *CandidateGenerator) Sample(appName string, data sparksim.DataSpec, n int, rng *rand.Rand) []sparksim.Config {
+	lo, hi := g.Region(appName, data)
+	out := make([]sparksim.Config, n)
+	for i := 0; i < n; i++ {
+		var c sparksim.Config
+		for d := 0; d < sparksim.NumKnobs; d++ {
+			c[d] = lo[d] + rng.Float64()*(hi[d]-lo[d])
+		}
+		out[i] = c.Clamp()
+	}
+	return out
+}
+
+// SampleFeasible is Sample restricted to configurations that pass the
+// environment's static allocation check (what the cluster manager rejects
+// at submit time anyway); it retries rejected draws a bounded number of
+// times and falls back to clamping executor memory/cores into capacity.
+func (g *CandidateGenerator) SampleFeasible(appName string, data sparksim.DataSpec, env sparksim.Environment, n int, rng *rand.Rand) []sparksim.Config {
+	lo, hi := g.Region(appName, data)
+	out := make([]sparksim.Config, 0, n)
+	for len(out) < n {
+		var c sparksim.Config
+		for attempt := 0; ; attempt++ {
+			for d := 0; d < sparksim.NumKnobs; d++ {
+				c[d] = lo[d] + rng.Float64()*(hi[d]-lo[d])
+			}
+			c = c.Clamp()
+			if sparksim.Feasible(c, env) {
+				break
+			}
+			if attempt >= 16 {
+				c = ForceFeasible(c, env)
+				break
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ForceFeasible shrinks executor memory, overhead and cores until the
+// configuration can be allocated on the environment.
+func ForceFeasible(c sparksim.Config, env sparksim.Environment) sparksim.Config {
+	c = c.Clamp()
+	if c[sparksim.KnobExecutorCores] > float64(env.Cores) {
+		c[sparksim.KnobExecutorCores] = float64(env.Cores)
+	}
+	for !sparksim.Feasible(c, env) && c[sparksim.KnobExecutorMemory] > sparksim.Knobs[sparksim.KnobExecutorMemory].Min {
+		c[sparksim.KnobExecutorMemory]--
+		if c[sparksim.KnobExecutorMemoryOverhead] > 1024 {
+			c[sparksim.KnobExecutorMemoryOverhead] = 1024
+		}
+	}
+	return c.Clamp()
+}
+
+// acgJSON is the serialized form of the candidate generator.
+type acgJSON struct {
+	Models     []*forest.Forest `json:"models"`
+	Sigma      []float64        `json:"sigma"`
+	AppIdx     map[string]int   `json:"app_idx"`
+	NumApps    int              `json:"num_apps"`
+	SigmaScale float64          `json:"sigma_scale"`
+}
+
+// MarshalJSON serializes the ACG state (per-knob forests, spans, app map).
+func (g *CandidateGenerator) MarshalJSON() ([]byte, error) {
+	out := acgJSON{AppIdx: g.appIdx, NumApps: g.numApps, SigmaScale: g.SigmaScale}
+	for d := 0; d < sparksim.NumKnobs; d++ {
+		out.Models = append(out.Models, g.models[d])
+		out.Sigma = append(out.Sigma, g.sigma[d])
+	}
+	return json.Marshal(&out)
+}
+
+// UnmarshalJSON restores the ACG state.
+func (g *CandidateGenerator) UnmarshalJSON(b []byte) error {
+	var in acgJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	if len(in.Models) != sparksim.NumKnobs || len(in.Sigma) != sparksim.NumKnobs {
+		return fmt.Errorf("core: serialized ACG has %d models and %d sigmas, want %d",
+			len(in.Models), len(in.Sigma), sparksim.NumKnobs)
+	}
+	for d := 0; d < sparksim.NumKnobs; d++ {
+		g.models[d] = in.Models[d]
+		g.sigma[d] = in.Sigma[d]
+	}
+	g.appIdx = in.AppIdx
+	g.numApps = in.NumApps
+	g.SigmaScale = in.SigmaScale
+	return nil
+}
+
+// PointPrediction returns the raw RFR point estimate per knob — the "RFR"
+// competitor of Table VIII(a), which recommends exactly this configuration.
+func (g *CandidateGenerator) PointPrediction(appName string, data sparksim.DataSpec) sparksim.Config {
+	f := g.acgFeatures(appName, data)
+	var c sparksim.Config
+	for d := 0; d < sparksim.NumKnobs; d++ {
+		c[d] = g.models[d].Predict(f)
+	}
+	return c.Clamp()
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+
+	"lite/internal/nn"
+)
+
+// AMUConfig controls Adaptive Model Update (paper §IV-B).
+type AMUConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// Lambda scales the reversed gradient flowing from the discriminator
+	// into NECS (the strength of the domain-confusion pressure).
+	Lambda float64
+	// DiscHidden is the discriminator MLP hidden width.
+	DiscHidden int
+}
+
+// DefaultAMUConfig returns the settings used by the experiments.
+func DefaultAMUConfig() AMUConfig {
+	return AMUConfig{Epochs: 4, BatchSize: 16, LR: 5e-4, Lambda: 0.3, DiscHidden: 32}
+}
+
+// Discriminator is the adversarial domain classifier: an MLP over the
+// concatenated tower hidden embeddings h_i = f¹(x)‖…‖f^L, ending in a
+// sigmoid probability of the instance being from the source domain.
+type Discriminator struct {
+	mlp *nn.MLP
+}
+
+// NewDiscriminator builds the discriminator for a NECS model.
+func NewDiscriminator(m *NECS, cfg AMUConfig, rng *rand.Rand) *Discriminator {
+	hiddenWidth := 0
+	widths := nn.TowerWidths(towerInputWidth(m), m.Cfg.TowerFirst, m.Cfg.TowerMin)
+	for _, w := range widths[1 : len(widths)-1] {
+		hiddenWidth += w
+	}
+	d := &Discriminator{mlp: nn.NewMLP([]int{hiddenWidth, cfg.DiscHidden, 1}, rng, "disc")}
+	d.mlp.FinalActivation = nn.Sigmoid
+	return d
+}
+
+func towerInputWidth(m *NECS) int {
+	return m.Tower.Layers[0].W.Value.Rows
+}
+
+// Forward returns P(source domain | hidden embeddings).
+func (d *Discriminator) Forward(hidden []*nn.Node) *nn.Node {
+	return d.mlp.Forward(nn.Concat(hidden...))
+}
+
+// Params returns the discriminator's trainable parameters.
+func (d *Discriminator) Params() []*nn.Node { return d.mlp.Params() }
+
+// AdaptiveModelUpdate fine-tunes NECS on source (small-data training
+// instances, DS) plus target (large-data feedback, DT) using the minimax
+// objective of Equation 8:
+//
+//	min_Θ max_Ω  L_p + L_D
+//
+// implemented with a gradient-reversal layer: one backward pass trains the
+// discriminator to separate domains while pushing NECS toward
+// domain-invariant hidden representations, and the prediction loss on
+// DS ∪ DT keeps the estimator accurate. Returns the final epoch's mean
+// prediction loss.
+func AdaptiveModelUpdate(m *NECS, source, target []*Encoded, cfg AMUConfig, rng *rand.Rand) float64 {
+	type sample struct {
+		x      *Encoded
+		domain float64 // 1 = source, 0 = target
+	}
+	data := make([]sample, 0, len(source)+len(target))
+	for _, x := range source {
+		data = append(data, sample{x, 1})
+	}
+	for _, x := range target {
+		data = append(data, sample{x, 0})
+	}
+	if len(data) == 0 {
+		return 0
+	}
+
+	disc := NewDiscriminator(m, cfg, rng)
+	params := append(m.Params(), disc.Params()...)
+	opt := nn.NewAdam(params, cfg.LR)
+
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
+		var epochLoss float64
+		var count float64
+		for start := 0; start < len(data); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(data) {
+				end = len(data)
+			}
+			opt.ZeroGrad()
+			for _, s := range data[start:end] {
+				out, hidden := m.Forward(s.x)
+				// L_p: prediction loss on both domains.
+				lp := nn.MSELoss(out, s.x.Y)
+				// L_D: discriminator BCE over reversed hidden features.
+				rev := make([]*nn.Node, len(hidden))
+				for i, h := range hidden {
+					rev[i] = nn.GradReverse(h, cfg.Lambda)
+				}
+				ld := nn.BCELoss(disc.Forward(rev), s.domain)
+				loss := nn.Scale(nn.Add(lp, ld), s.x.Weight/float64(end-start))
+				nn.Backward(loss)
+				epochLoss += lp.Scalar() * s.x.Weight
+				count += s.x.Weight
+			}
+			nn.ClipGrads(params, 5)
+			opt.Step()
+		}
+		if count > 0 {
+			lastLoss = epochLoss / count
+		}
+	}
+	return lastLoss
+}
+
+// DomainAccuracy measures how well a freshly trained discriminator can
+// separate the two domains given the (frozen) NECS hidden representations —
+// a diagnostic for how domain-invariant the features are (0.5 ≈
+// indistinguishable, the adversarial equilibrium the paper aims for).
+// Accuracy is measured on a held-out 30% split so memorization does not
+// masquerade as separability.
+func DomainAccuracy(m *NECS, source, target []*Encoded, cfg AMUConfig, rng *rand.Rand) float64 {
+	disc := NewDiscriminator(m, cfg, rng)
+	opt := nn.NewAdam(disc.Params(), 2e-3)
+	type sample struct {
+		hidden []*nn.Node
+		domain float64
+	}
+	var data []sample
+	for _, x := range source {
+		_, h := m.Forward(x)
+		data = append(data, sample{h, 1})
+	}
+	for _, x := range target {
+		_, h := m.Forward(x)
+		data = append(data, sample{h, 0})
+	}
+	if len(data) < 4 {
+		return 0.5
+	}
+	rng.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
+	cut := len(data) * 7 / 10
+	train, eval := data[:cut], data[cut:]
+	for epoch := 0; epoch < 6; epoch++ {
+		rng.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+		for _, s := range train {
+			opt.ZeroGrad()
+			nn.Backward(nn.BCELoss(disc.Forward(s.hidden), s.domain))
+			opt.Step()
+		}
+	}
+	correct := 0
+	for _, s := range eval {
+		p := disc.Forward(s.hidden).Scalar()
+		if (p >= 0.5) == (s.domain == 1) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(eval))
+}

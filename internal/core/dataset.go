@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lite/internal/instrument"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// Dataset bundles raw application runs with their stage-level instances.
+type Dataset struct {
+	Apps      []*workload.App
+	Runs      []instrument.AppInstance
+	Instances []instrument.StageInstance
+}
+
+// CollectOptions controls offline training-data collection (paper §II:
+// "repeatedly sampling knob values and running applications ... on small
+// datasets").
+type CollectOptions struct {
+	// ConfigsPerInstance is how many sampled configurations each
+	// (application, datasize, cluster) instance is executed with.
+	ConfigsPerInstance int
+	// Clusters to collect on (default: all three).
+	Clusters []sparksim.Environment
+	// IncludeDefault adds the default configuration to every sample set.
+	IncludeDefault bool
+	// Sizes selects which of the four training sizes to use (nil = all).
+	Sizes []int
+}
+
+// DefaultCollectOptions matches the experiments' standard collection.
+func DefaultCollectOptions() CollectOptions {
+	return CollectOptions{
+		ConfigsPerInstance: 8,
+		Clusters:           sparksim.AllClusters,
+		IncludeDefault:     true,
+	}
+}
+
+// Collect gathers the offline training set for the given applications by
+// running each on its small training datasizes under sampled
+// configurations, then segmenting runs into stage-level instances.
+func Collect(apps []*workload.App, opts CollectOptions, rng *rand.Rand) *Dataset {
+	ds := &Dataset{Apps: apps}
+	sizeIdx := opts.Sizes
+	for _, app := range apps {
+		if sizeIdx == nil {
+			sizeIdx = []int{0, 1, 2, 3}
+		}
+		for _, si := range sizeIdx {
+			size := app.Sizes.Train[si]
+			data := app.Spec.MakeData(size)
+			for _, env := range opts.Clusters {
+				cfgs := make([]sparksim.Config, 0, opts.ConfigsPerInstance+1)
+				if opts.IncludeDefault {
+					cfgs = append(cfgs, sparksim.DefaultConfig())
+				}
+				for len(cfgs) < opts.ConfigsPerInstance {
+					cfgs = append(cfgs, sparksim.RandomConfig(rng))
+				}
+				for _, cfg := range cfgs {
+					run := instrument.Run(app.Spec, data, env, cfg)
+					ds.Runs = append(ds.Runs, run)
+					ds.Instances = append(ds.Instances, run.Stages...)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// EncodeAll deduplicates and encodes the dataset's stage instances.
+// Iterated stages within one run share identical inputs and nearly
+// identical labels, so they collapse into one weighted instance with the
+// mean label — the training objective is unchanged but epochs are ~4–10×
+// cheaper. The raw (pre-dedup) counts remain available via the Dataset for
+// the Figure 9 augmentation statistics.
+func EncodeAll(enc *Encoder, instances []instrument.StageInstance) []*Encoded {
+	type agg struct {
+		enc   *Encoded
+		sumY  float64
+		count float64
+	}
+	byKey := map[string]*agg{}
+	var order []string
+	for i := range instances {
+		inst := &instances[i]
+		key := fmt.Sprintf("%s|%d|%s|%.0f|%d|%d", inst.AppName, inst.StageIndex, inst.Env.Name,
+			inst.Data.SizeMB, inst.Data.Iterations, cfgKey(inst.Config))
+		a, ok := byKey[key]
+		if !ok {
+			a = &agg{enc: enc.Encode(inst)}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.sumY += LabelOf(inst.Seconds)
+		a.count++
+	}
+	out := make([]*Encoded, 0, len(order))
+	for _, key := range order {
+		a := byKey[key]
+		a.enc.Y = a.sumY / a.count
+		a.enc.Weight = a.count
+		out = append(out, a.enc)
+	}
+	return out
+}
+
+// cfgKey quantizes a configuration into a hashable identity.
+func cfgKey(c sparksim.Config) int {
+	h := 0
+	for i, v := range c {
+		h = h*31 + int(v*100) + i
+	}
+	return h
+}
+
+// SplitByApp partitions encoded instances into those belonging to the named
+// applications and the rest — used by the cold-start experiments
+// (leave-one-application-out, §V-G).
+func SplitByApp(data []*Encoded, exclude map[string]bool) (kept, removed []*Encoded) {
+	for _, d := range data {
+		if exclude[d.AppName] {
+			removed = append(removed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, removed
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"lite/internal/instrument"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// Tuner is the LITE system (paper Figure 2): an offline-trained NECS
+// estimator, the Adaptive Candidate Generation model, and the online
+// recommendation loop with Adaptive Model Update on collected feedback.
+type Tuner struct {
+	Model *NECS
+	ACG   *CandidateGenerator
+
+	// NumCandidates is how many knob candidates Step 2 samples from the
+	// region of interest.
+	NumCandidates int
+
+	// Feedback accumulates target-domain instances for Adaptive Model
+	// Update; UpdateBatch triggers an update when this many new
+	// application feedbacks have been collected.
+	Feedback    []*Encoded
+	UpdateBatch int
+	AMU         AMUConfig
+
+	rng *rand.Rand
+}
+
+// TrainOptions bundles everything needed to train LITE offline.
+type TrainOptions struct {
+	NECS    NECSConfig
+	Collect CollectOptions
+	Seed    int64
+}
+
+// DefaultTrainOptions returns the standard offline-training settings.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{
+		NECS:    DefaultNECSConfig(),
+		Collect: DefaultCollectOptions(),
+		Seed:    1,
+	}
+}
+
+// Train runs the full offline phase on the given applications: collect
+// small-data training runs, build the encoder, train NECS (Equation 4) and
+// fit the ACG models. It returns the tuner and the dataset (for reuse by
+// experiments).
+func Train(apps []*workload.App, opts TrainOptions) (*Tuner, *Dataset) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ds := Collect(apps, opts.Collect, rng)
+	return TrainOn(ds, opts), ds
+}
+
+// TrainOn trains a tuner from an already-collected dataset.
+func TrainOn(ds *Dataset, opts TrainOptions) *Tuner {
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	enc := NewEncoder(ds.Instances, opts.NECS)
+	model := NewNECS(enc, opts.NECS, rng)
+	model.Fit(EncodeAll(enc, ds.Instances), rng)
+	return &Tuner{
+		Model:         model,
+		ACG:           NewCandidateGenerator(ds.Runs, rng),
+		NumCandidates: 64,
+		UpdateBatch:   10,
+		AMU:           DefaultAMUConfig(),
+		rng:           rng,
+	}
+}
+
+// Recommendation is the outcome of one online tuning request.
+type Recommendation struct {
+	Config sparksim.Config
+	// PredictedSeconds is NECS's aggregated estimate for the winner.
+	PredictedSeconds float64
+	// Ranked lists every candidate best-first with its prediction.
+	Ranked []ScoredConfig
+	// Overhead is the wall-clock time LITE spent deciding.
+	Overhead time.Duration
+}
+
+// ScoredConfig pairs a candidate with its predicted execution time.
+type ScoredConfig struct {
+	Config    sparksim.Config
+	Predicted float64
+}
+
+// Recommend executes online Steps 1–3 (paper §IV): sample candidates from
+// the ACG region of interest, estimate each with NECS by aggregating
+// stage-level predictions, and return the configuration with the least
+// estimated time (Equation 5).
+func (t *Tuner) Recommend(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) Recommendation {
+	start := time.Now()
+	cands := t.ACG.SampleFeasible(app.Name, data, env, t.NumCandidates, t.rng)
+	return t.recommendFrom(app, data, env, cands, start)
+}
+
+// RecommendFrom ranks a caller-supplied candidate set (used by experiments
+// that compare sampling strategies).
+func (t *Tuner) RecommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, cands []sparksim.Config) Recommendation {
+	return t.recommendFrom(app, data, env, cands, time.Now())
+}
+
+func (t *Tuner) recommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, cands []sparksim.Config, start time.Time) Recommendation {
+	scored := make([]ScoredConfig, len(cands))
+	for i, c := range cands {
+		scored[i] = ScoredConfig{Config: c, Predicted: t.Model.PredictApp(app, data, env, c)}
+	}
+	sort.SliceStable(scored, func(a, b int) bool { return scored[a].Predicted < scored[b].Predicted })
+	return Recommendation{
+		Config:           scored[0].Config,
+		PredictedSeconds: scored[0].Predicted,
+		Ranked:           scored,
+		Overhead:         time.Since(start),
+	}
+}
+
+// CollectFeedback records the outcome of executing a recommendation in the
+// "real production system" (online Step 4). When UpdateBatch feedbacks have
+// accumulated, it runs Adaptive Model Update against a sample of the source
+// domain and clears the feedback buffer. sourceSample should be drawn from
+// the training instances. Returns true if an update was performed.
+func (t *Tuner) CollectFeedback(run instrument.AppInstance, sourceSample []*Encoded) bool {
+	for i := range run.Stages {
+		t.Feedback = append(t.Feedback, t.Model.Encoder.Encode(&run.Stages[i]))
+	}
+	if t.UpdateBatch <= 0 || len(t.Feedback) < t.UpdateBatch {
+		return false
+	}
+	AdaptiveModelUpdate(t.Model, sourceSample, t.Feedback, t.AMU, t.rng)
+	t.Feedback = t.Feedback[:0]
+	return true
+}
+
+// ColdStartInstrument implements online Step 1 for a never-seen
+// application: run it once on the smallest dataset to recover stage-level
+// codes and DAGs (paper §IV Step 1 / §V-I). It returns the instrumented run
+// and the instrumentation overhead in simulated seconds.
+func ColdStartInstrument(app *workload.App, env sparksim.Environment) (instrument.AppInstance, float64) {
+	data := app.Spec.MakeData(app.Sizes.Train[0])
+	run := instrument.Run(app.Spec, data, env, sparksim.DefaultConfig())
+	return run, run.Result.Seconds
+}

@@ -1,0 +1,305 @@
+// Package core implements the paper's contribution: the NECS performance
+// estimator (Neural Estimator via Code and Scheduler representation,
+// §III), Adaptive Candidate Generation (§IV-A), Adaptive Model Update via
+// adversarial learning (§IV-B), and the LITE online recommender that ties
+// them together (§IV).
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"lite/internal/feature"
+	"lite/internal/instrument"
+	"lite/internal/nn"
+	"lite/internal/sparksim"
+	"lite/internal/tensor"
+)
+
+// NECSConfig sets the model hyperparameters. Defaults are tuned so a full
+// training run completes in seconds on the simulator datasets while keeping
+// the architecture of Figure 3: token embeddings → CNN banks → max-pool;
+// one-hot DAG nodes → GCN → max-pool; concat with o_i, d_i, e_i → tower MLP.
+type NECSConfig struct {
+	// TokenLen is N, the maximal number of tokens per stage (padded).
+	TokenLen int
+	// EmbDim is D, the token-embedding width.
+	EmbDim int
+	// Kernels are the CNN kernel widths; FiltersPerKernel the bank size.
+	Kernels          []int
+	FiltersPerKernel int
+	// CodeDim is the width of the projected code representation h_code.
+	CodeDim int
+	// GCNHidden are the GCN layer widths after the one-hot input layer.
+	GCNHidden []int
+	// TowerFirst is the first tower-MLP hidden width; widths halve down to
+	// TowerMin, then a single output unit (paper §III-F).
+	TowerFirst int
+	TowerMin   int
+
+	// Epochs / BatchSize / LR control offline training (Equation 4).
+	Epochs    int
+	BatchSize int
+	LR        float64
+
+	// DisableOOV removes the out-of-vocabulary token from both the code
+	// vocabulary and the DAG node vocabulary — the "Cold-UNK" ablation of
+	// Table XI. Unseen code tokens are dropped and unseen operations
+	// collapse onto an arbitrary known column.
+	DisableOOV bool
+}
+
+// DefaultNECSConfig returns the configuration used by the experiments.
+func DefaultNECSConfig() NECSConfig {
+	return NECSConfig{
+		TokenLen:         96,
+		EmbDim:           16,
+		Kernels:          []int{2, 3, 4},
+		FiltersPerKernel: 8,
+		CodeDim:          16,
+		GCNHidden:        []int{32, 16},
+		TowerFirst:       64,
+		TowerMin:         16,
+		Epochs:           8,
+		BatchSize:        16,
+		LR:               1e-3,
+	}
+}
+
+// Encoded is a feature-encoded stage instance ready for NECS: the paper's
+// six-tuple with C_i as token ids, G_i as (node features, normalized
+// adjacency), and o_i/d_i/e_i flattened into Dense.
+type Encoded struct {
+	AppName    string
+	StageIndex int
+	TokenIDs   []int
+	NodeFeats  *tensor.Tensor
+	AHat       *tensor.Tensor
+	Dense      []float64
+	// Y is the training label in log space: log1p(stage seconds).
+	Y float64
+	// Weight counts how many raw stage instances this encoded instance
+	// represents (iterated stages of one run share identical features, so
+	// the dataset builder deduplicates them into one weighted instance).
+	Weight float64
+}
+
+// LabelOf converts stage seconds to the regression label.
+func LabelOf(seconds float64) float64 { return math.Log1p(seconds) }
+
+// SecondsOf inverts LabelOf.
+func SecondsOf(label float64) float64 { return math.Expm1(label) }
+
+// Encoder caches per-stage encodings (token ids, DAG matrices) so repeated
+// instances of the same stage are cheap.
+type Encoder struct {
+	Vocab   *feature.Vocab
+	OpVocab *feature.OpVocab
+	cfg     NECSConfig
+
+	tokCache  map[string][]int
+	dagCache  map[string]*dagEnc
+	dagByKey  func(ops []string, edges [][2]int) string
+	denseOnly bool
+}
+
+type dagEnc struct {
+	nodes *tensor.Tensor
+	aHat  *tensor.Tensor
+}
+
+// NewEncoder builds an encoder over the training corpus: the vocabulary is
+// learned from the training instances' stage codes, the op vocabulary from
+// their DAG node labels (paper: S = number of atomic operations in the
+// training set, plus the oov token).
+func NewEncoder(train []instrument.StageInstance, cfg NECSConfig) *Encoder {
+	corpus := make([]string, 0, len(train))
+	for i := range train {
+		corpus = append(corpus, train[i].Code)
+	}
+	vocab := feature.BuildVocab(corpus, 1)
+	opVocab := feature.BuildOpVocab(train)
+	if cfg.DisableOOV {
+		vocab.UseOOV = false
+		opVocab.UseOOV = false
+	}
+	return NewEncoderFromVocabs(vocab, opVocab, cfg)
+}
+
+// Encode converts a stage instance into model input.
+func (e *Encoder) Encode(inst *instrument.StageInstance) *Encoded {
+	toks, ok := e.tokCache[inst.Code]
+	if !ok {
+		toks = e.Vocab.Encode(inst.Code, e.cfg.TokenLen)
+		e.tokCache[inst.Code] = toks
+	}
+	key := e.dagByKey(inst.Ops, inst.Edges)
+	dag, ok := e.dagCache[key]
+	if !ok {
+		dag = &dagEnc{
+			nodes: e.OpVocab.NodeFeatures(inst.Ops),
+			aHat:  nn.NormalizeAdjacency(len(inst.Ops), inst.Edges),
+		}
+		e.dagCache[key] = dag
+	}
+	return &Encoded{
+		AppName:    inst.AppName,
+		StageIndex: inst.StageIndex,
+		TokenIDs:   toks,
+		NodeFeats:  dag.nodes,
+		AHat:       dag.aHat,
+		Dense:      feature.DenseFeatures(inst),
+		Y:          LabelOf(inst.Seconds),
+		Weight:     1,
+	}
+}
+
+// NECS is the neural estimator of Figure 3.
+type NECS struct {
+	Cfg     NECSConfig
+	Encoder *Encoder
+
+	Code  *nn.CNNEncoder
+	DAG   *nn.GCNEncoder
+	Tower *nn.MLP
+}
+
+// NewNECS constructs the model for the given encoder.
+func NewNECS(enc *Encoder, cfg NECSConfig, rng *rand.Rand) *NECS {
+	gcnWidths := append([]int{enc.OpVocab.Width()}, cfg.GCNHidden...)
+	towerIn := feature.DenseWidth + cfg.CodeDim + cfg.GCNHidden[len(cfg.GCNHidden)-1]
+	return &NECS{
+		Cfg:     cfg,
+		Encoder: enc,
+		Code:    nn.NewCNNEncoder(enc.Vocab.Size(), cfg.EmbDim, cfg.Kernels, cfg.FiltersPerKernel, cfg.CodeDim, rng),
+		DAG:     nn.NewGCNEncoder(gcnWidths, rng),
+		Tower:   nn.NewMLP(nn.TowerWidths(towerIn, cfg.TowerFirst, cfg.TowerMin), rng, "tower"),
+	}
+}
+
+// Clone returns a deep copy of the model (shared encoder, copied weights),
+// so experiments can fine-tune a snapshot without disturbing the original.
+func (m *NECS) Clone() *NECS {
+	// Reconstruct with a throwaway RNG, then overwrite every weight.
+	c := NewNECS(m.Encoder, m.Cfg, rand.New(rand.NewSource(0)))
+	src := m.Params()
+	dst := c.Params()
+	for i := range src {
+		copy(dst[i].Value.Data, src[i].Value.Data)
+	}
+	return c
+}
+
+// Params returns all trainable parameters.
+func (m *NECS) Params() []*nn.Node {
+	ps := m.Code.Params()
+	ps = append(ps, m.DAG.Params()...)
+	ps = append(ps, m.Tower.Params()...)
+	return ps
+}
+
+// Forward computes the prediction node for one encoded instance, returning
+// the output and the tower's hidden activations (used by Adaptive Model
+// Update's discriminator).
+func (m *NECS) Forward(x *Encoded) (*nn.Node, []*nn.Node) {
+	hCode := m.Code.Forward(x.TokenIDs)
+	hDAG := m.DAG.Forward(nn.NewConst(x.AHat), nn.NewConst(x.NodeFeats))
+	in := nn.Concat(nn.NewConst(tensor.FromRow(x.Dense)), hCode, hDAG)
+	return m.Tower.ForwardHidden(in)
+}
+
+// Predict returns the predicted stage label (log space).
+func (m *NECS) Predict(x *Encoded) float64 {
+	out, _ := m.Forward(x)
+	return out.Scalar()
+}
+
+// PredictSeconds returns the predicted stage time in seconds, clamped to be
+// non-negative (execution time cannot be negative, whatever the regressor
+// extrapolates).
+func (m *NECS) PredictSeconds(x *Encoded) float64 {
+	s := SecondsOf(m.Predict(x))
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Fit trains the model with Adam on the weighted squared error of
+// Equation 4. It reports the mean training loss of the final epoch.
+func (m *NECS) Fit(data []*Encoded, rng *rand.Rand) float64 {
+	opt := nn.NewAdam(m.Params(), m.Cfg.LR)
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		// Step learning-rate decay: ÷2 at 60% and 85% of the schedule.
+		switch {
+		case epoch == m.Cfg.Epochs*85/100:
+			opt.LR = m.Cfg.LR / 4
+		case epoch == m.Cfg.Epochs*60/100:
+			opt.LR = m.Cfg.LR / 2
+		}
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss, epochWeight float64
+		for start := 0; start < len(idx); start += m.Cfg.BatchSize {
+			end := start + m.Cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			opt.ZeroGrad()
+			var batchWeight float64
+			for _, i := range idx[start:end] {
+				batchWeight += data[i].Weight
+			}
+			for _, i := range idx[start:end] {
+				x := data[i]
+				out, _ := m.Forward(x)
+				loss := nn.Scale(nn.MSELoss(out, x.Y), x.Weight/batchWeight)
+				nn.Backward(loss)
+				epochLoss += loss.Scalar() * batchWeight
+				epochWeight += x.Weight
+			}
+			nn.ClipGrads(m.Params(), 5)
+			opt.Step()
+		}
+		if epochWeight > 0 {
+			lastLoss = epochLoss / epochWeight
+		}
+	}
+	return lastLoss
+}
+
+// PredictApp estimates the total execution time (seconds) of an application
+// under cfg on the given data and environment by summing stage-level
+// predictions over the expanded stage plan (Equation 5's aggregation).
+func (m *NECS) PredictApp(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, cfg sparksim.Config) float64 {
+	plan := app.ExpandedStages(data)
+	// Identical plan entries share one prediction.
+	perStage := map[int]float64{}
+	var total float64
+	for _, si := range plan {
+		sec, ok := perStage[si]
+		if !ok {
+			st := &app.Stages[si]
+			inst := instrument.StageInstance{
+				AppName:    app.Name,
+				AppFamily:  app.Family,
+				StageIndex: si,
+				StageName:  st.Name,
+				Code:       st.Code,
+				Ops:        st.Ops,
+				Edges:      st.Edges,
+				Config:     cfg,
+				Data:       data,
+				Env:        env,
+			}
+			sec = m.PredictSeconds(m.Encoder.Encode(&inst))
+			perStage[si] = sec
+		}
+		total += sec
+	}
+	return total
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"lite/internal/feature"
+)
+
+// modelFile is the on-disk representation of a trained NECS model: the
+// hyperparameters, both vocabularies, and every parameter tensor in
+// Params() order (which is deterministic for a given configuration).
+type modelFile struct {
+	Format  string         `json:"format"`
+	Config  NECSConfig     `json:"config"`
+	Vocab   map[string]int `json:"vocab"`
+	OpVocab map[string]int `json:"op_vocab"`
+	UseOOV  bool           `json:"use_oov"`
+	Shapes  [][2]int       `json:"shapes"`
+	Params  [][]float64    `json:"params"`
+}
+
+const modelFormat = "lite-necs-v1"
+
+// Save serializes the model (weights + vocabularies + hyperparameters) as
+// JSON. The encoder's caches are not persisted; they rebuild lazily.
+func (m *NECS) Save(w io.Writer) error {
+	mf := modelFile{
+		Format:  modelFormat,
+		Config:  m.Cfg,
+		Vocab:   m.Encoder.Vocab.Export(),
+		OpVocab: m.Encoder.OpVocab.Export(),
+		UseOOV:  m.Encoder.Vocab.UseOOV,
+	}
+	for _, p := range m.Params() {
+		mf.Shapes = append(mf.Shapes, [2]int{p.Value.Rows, p.Value.Cols})
+		mf.Params = append(mf.Params, append([]float64(nil), p.Value.Data...))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&mf)
+}
+
+// LoadNECS reconstructs a model previously written by Save.
+func LoadNECS(r io.Reader) (*NECS, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if mf.Format != modelFormat {
+		return nil, fmt.Errorf("core: unsupported model format %q", mf.Format)
+	}
+	enc := NewEncoderFromVocabs(
+		feature.NewVocabFromMap(mf.Vocab, mf.UseOOV),
+		feature.NewOpVocabFromMap(mf.OpVocab, mf.UseOOV),
+		mf.Config,
+	)
+	m := NewNECS(enc, mf.Config, rand.New(rand.NewSource(0)))
+	params := m.Params()
+	if len(params) != len(mf.Params) {
+		return nil, fmt.Errorf("core: model has %d parameter tensors, file has %d", len(params), len(mf.Params))
+	}
+	for i, p := range params {
+		if p.Value.Rows != mf.Shapes[i][0] || p.Value.Cols != mf.Shapes[i][1] {
+			return nil, fmt.Errorf("core: parameter %d shape %dx%d, file has %dx%d",
+				i, p.Value.Rows, p.Value.Cols, mf.Shapes[i][0], mf.Shapes[i][1])
+		}
+		if len(mf.Params[i]) != p.Value.Size() {
+			return nil, fmt.Errorf("core: parameter %d has %d values, want %d", i, len(mf.Params[i]), p.Value.Size())
+		}
+		copy(p.Value.Data, mf.Params[i])
+	}
+	return m, nil
+}
+
+// tunerFile is the on-disk representation of a full LITE tuner: the NECS
+// model plus the Adaptive Candidate Generation state.
+type tunerFile struct {
+	Format        string          `json:"format"`
+	Model         json.RawMessage `json:"model"`
+	ACG           json.RawMessage `json:"acg"`
+	NumCandidates int             `json:"num_candidates"`
+	UpdateBatch   int             `json:"update_batch"`
+}
+
+const tunerFormat = "lite-tuner-v1"
+
+// Save serializes the whole tuner (NECS + ACG) as JSON.
+func (t *Tuner) Save(w io.Writer) error {
+	var model bytes.Buffer
+	if err := t.Model.Save(&model); err != nil {
+		return err
+	}
+	acg, err := json.Marshal(t.ACG)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(&tunerFile{
+		Format:        tunerFormat,
+		Model:         model.Bytes(),
+		ACG:           acg,
+		NumCandidates: t.NumCandidates,
+		UpdateBatch:   t.UpdateBatch,
+	})
+}
+
+// LoadTuner reconstructs a tuner previously written by Save. The returned
+// tuner is ready to Recommend; its RNG is seeded with the given seed.
+func LoadTuner(r io.Reader, seed int64) (*Tuner, error) {
+	var tf tunerFile
+	if err := json.NewDecoder(r).Decode(&tf); err != nil {
+		return nil, fmt.Errorf("core: decoding tuner: %w", err)
+	}
+	if tf.Format != tunerFormat {
+		return nil, fmt.Errorf("core: unsupported tuner format %q", tf.Format)
+	}
+	model, err := LoadNECS(bytes.NewReader(tf.Model))
+	if err != nil {
+		return nil, err
+	}
+	acg := &CandidateGenerator{}
+	if err := json.Unmarshal(tf.ACG, acg); err != nil {
+		return nil, fmt.Errorf("core: decoding ACG: %w", err)
+	}
+	return &Tuner{
+		Model:         model,
+		ACG:           acg,
+		NumCandidates: tf.NumCandidates,
+		UpdateBatch:   tf.UpdateBatch,
+		AMU:           DefaultAMUConfig(),
+		rng:           rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// NewEncoderFromVocabs builds an encoder around existing vocabularies
+// (used when loading a persisted model; no training corpus needed).
+func NewEncoderFromVocabs(vocab *feature.Vocab, opVocab *feature.OpVocab, cfg NECSConfig) *Encoder {
+	e := &Encoder{
+		Vocab:    vocab,
+		OpVocab:  opVocab,
+		cfg:      cfg,
+		tokCache: map[string][]int{},
+		dagCache: map[string]*dagEnc{},
+	}
+	e.dagByKey = func(ops []string, edges [][2]int) string {
+		key := ""
+		for _, o := range ops {
+			key += o + "|"
+		}
+		for _, ed := range edges {
+			key += string(rune('0'+ed[0])) + string(rune('0'+ed[1]))
+		}
+		return key
+	}
+	return e
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	apps := []*workload.App{workload.ByName("WordCount"), workload.ByName("PageRank")}
+	ds := smallDataset(t, apps, 3, 31)
+	cfg := fastConfig()
+	rng := rand.New(rand.NewSource(32))
+	enc := NewEncoder(ds.Instances, cfg)
+	model := NewNECS(enc, cfg, rng)
+	model.Fit(EncodeAll(enc, ds.Instances), rng)
+
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNECS(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Predictions must be bit-identical across the round trip.
+	app := workload.ByName("PageRank").Spec
+	d := app.MakeData(512)
+	for i := 0; i < 10; i++ {
+		c := sparksim.RandomConfig(rng)
+		a := model.PredictApp(app, d, sparksim.ClusterC, c)
+		b := loaded.PredictApp(app, d, sparksim.ClusterC, c)
+		if math.Abs(a-b) > 1e-12*(1+math.Abs(a)) {
+			t.Fatalf("prediction mismatch after load: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadRejectsWrongFormat(t *testing.T) {
+	if _, err := LoadNECS(strings.NewReader(`{"format":"other"}`)); err == nil {
+		t.Fatal("expected format error")
+	}
+	if _, err := LoadNECS(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadRejectsCorruptedParams(t *testing.T) {
+	apps := []*workload.App{workload.ByName("WordCount")}
+	ds := smallDataset(t, apps, 2, 33)
+	cfg := fastConfig()
+	cfg.Epochs = 1
+	rng := rand.New(rand.NewSource(34))
+	enc := NewEncoder(ds.Instances, cfg)
+	model := NewNECS(enc, cfg, rng)
+
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the parameter list.
+	s := buf.String()
+	s = strings.Replace(s, `"params":[[`, `"params":[[999999],[`, 1)
+	if _, err := LoadNECS(strings.NewReader(s)); err == nil {
+		t.Fatal("expected corruption error")
+	}
+}
+
+func TestSavePreservesVocabularies(t *testing.T) {
+	apps := []*workload.App{workload.ByName("Terasort")}
+	ds := smallDataset(t, apps, 2, 35)
+	cfg := fastConfig()
+	cfg.Epochs = 1
+	rng := rand.New(rand.NewSource(36))
+	enc := NewEncoder(ds.Instances, cfg)
+	model := NewNECS(enc, cfg, rng)
+
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNECS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range []string{"sortByKey", "partitionBy", "TeraSortPartitioner"} {
+		if loaded.Encoder.Vocab.ID(tok) != enc.Vocab.ID(tok) {
+			t.Fatalf("token %q id changed across save/load", tok)
+		}
+	}
+	if loaded.Encoder.OpVocab.Width() != enc.OpVocab.Width() {
+		t.Fatal("op vocabulary width changed")
+	}
+}
+
+func TestTunerSaveLoadRoundTrip(t *testing.T) {
+	apps := []*workload.App{workload.ByName("WordCount"), workload.ByName("Terasort")}
+	opts := DefaultTrainOptions()
+	opts.NECS = fastConfig()
+	opts.NECS.Epochs = 2
+	opts.Collect.ConfigsPerInstance = 4
+	opts.Collect.Clusters = []sparksim.Environment{sparksim.ClusterA, sparksim.ClusterC}
+	opts.Collect.Sizes = []int{0, 3}
+	tuner, _ := Train(apps, opts)
+
+	var buf bytes.Buffer
+	if err := tuner.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTuner(bytes.NewReader(buf.Bytes()), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumCandidates != tuner.NumCandidates {
+		t.Fatal("NumCandidates lost")
+	}
+
+	app := workload.ByName("Terasort")
+	data := app.Spec.MakeData(app.Sizes.Test)
+
+	// NECS predictions identical.
+	cfg := sparksim.DefaultConfig()
+	a := tuner.Model.PredictApp(app.Spec, data, sparksim.ClusterC, cfg)
+	b := loaded.Model.PredictApp(app.Spec, data, sparksim.ClusterC, cfg)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("prediction differs after tuner load: %v vs %v", a, b)
+	}
+	// ACG regions identical.
+	lo1, hi1 := tuner.ACG.Region("Terasort", data)
+	lo2, hi2 := loaded.ACG.Region("Terasort", data)
+	for d := 0; d < sparksim.NumKnobs; d++ {
+		if math.Abs(lo1[d]-lo2[d]) > 1e-9 || math.Abs(hi1[d]-hi2[d]) > 1e-9 {
+			t.Fatalf("ACG region differs for knob %d after load", d)
+		}
+	}
+	// The loaded tuner must actually work.
+	rec := loaded.Recommend(app.Spec, data, sparksim.ClusterC)
+	if len(rec.Ranked) != loaded.NumCandidates {
+		t.Fatal("loaded tuner cannot recommend")
+	}
+}
+
+func TestLoadTunerRejectsBadInput(t *testing.T) {
+	if _, err := LoadTuner(strings.NewReader("{}"), 1); err == nil {
+		t.Fatal("expected format error")
+	}
+	if _, err := LoadTuner(strings.NewReader("garbage"), 1); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

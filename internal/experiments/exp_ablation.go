@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lite/internal/sparksim"
+)
+
+// AblationResult covers the design-choice ablations DESIGN.md calls out
+// beyond the paper's own tables: CNN kernel sizes, the tower-vs-flat MLP
+// head, and the width of the ACG search region (σ scale).
+type AblationResult struct {
+	// Kernel ablation: ranking on cluster C validation per kernel set.
+	KernelVariants []string
+	KernelScores   map[string]RankingScore
+	// Tower ablation: halving tower vs a flat two-layer head.
+	TowerScores map[string]RankingScore
+	// Sigma ablation: mean top-1 actual seconds per σ scale.
+	SigmaScales  []float64
+	SigmaSeconds []float64
+}
+
+// Ablation runs all three studies.
+func Ablation(s *Suite) *AblationResult {
+	res := &AblationResult{
+		KernelScores: map[string]RankingScore{},
+		TowerScores:  map[string]RankingScore{},
+	}
+	cases := s.ValidationCases(sparksim.ClusterC, 950)
+
+	// --- CNN kernel sizes ---
+	kernelSets := map[string][]int{
+		"k=[3]":     {3},
+		"k=[2,3,4]": {2, 3, 4},
+		"k=[4,5,6]": {4, 5, 6},
+	}
+	res.KernelVariants = []string{"k=[3]", "k=[2,3,4]", "k=[4,5,6]"}
+	for i, name := range res.KernelVariants {
+		cfg := s.Opts.NECS
+		cfg.Kernels = kernelSets[name]
+		r := NewNeuralRanker(VariantNECS, cfg)
+		r.Fit(s.Dataset(), s.rng(int64(960+i)))
+		res.KernelScores[name] = evalRanker(r, cases, 5)
+	}
+
+	// --- Tower vs flat head (same parameter budget order) ---
+	tower := s.Opts.NECS
+	r := NewNeuralRanker(VariantNECS, tower)
+	r.Fit(s.Dataset(), s.rng(970))
+	res.TowerScores["tower (64→32→16)"] = evalRanker(r, cases, 5)
+
+	flat := s.Opts.NECS
+	flat.TowerFirst = 48
+	flat.TowerMin = 48 // one hidden layer of 48: no halving
+	rf := NewNeuralRanker(VariantNECS, flat)
+	rf.Fit(s.Dataset(), s.rng(971))
+	res.TowerScores["flat (48)"] = evalRanker(rf, cases, 5)
+
+	// --- ACG σ scale ---
+	tuner := s.Tuner()
+	res.SigmaScales = []float64{0.5, 1.0, 2.0}
+	origScale := tuner.ACG.SigmaScale
+	env := sparksim.ClusterC
+	for _, scale := range res.SigmaScales {
+		tuner.ACG.SigmaScale = scale
+		var sum float64
+		rng := s.rng(int64(980 + int(scale*10)))
+		for _, app := range s.Apps {
+			data := app.Spec.MakeData(app.Sizes.Valid)
+			cands := tuner.ACG.SampleFeasible(app.Spec.Name, data, env, s.Opts.GoldCandidates, rng)
+			rec := tuner.RecommendFrom(app.Spec, data, env, cands)
+			sum += sparksim.Simulate(app.Spec, data, env, rec.Config).Seconds
+		}
+		res.SigmaSeconds = append(res.SigmaSeconds, sum/float64(len(s.Apps)))
+	}
+	tuner.ACG.SigmaScale = origScale
+	return res
+}
+
+// Format renders the three ablations.
+func (r *AblationResult) Format() string {
+	t := NewTable("Ablation 1: CNN kernel sizes (ranking, cluster C validation)",
+		"kernels", "HR@5", "NDCG@5")
+	for _, v := range r.KernelVariants {
+		sc := r.KernelScores[v]
+		t.AddRowf(v, sc.HR, sc.NDCG)
+	}
+	out := t.String()
+
+	t2 := NewTable("\nAblation 2: tower vs flat MLP head", "head", "HR@5", "NDCG@5")
+	for _, v := range []string{"tower (64→32→16)", "flat (48)"} {
+		sc := r.TowerScores[v]
+		t2.AddRowf(v, sc.HR, sc.NDCG)
+	}
+	out += t2.String()
+
+	t3 := NewTable("\nAblation 3: ACG search-region width (σ scale)", "scale", "mean top-1 time (s)")
+	for i, scale := range r.SigmaScales {
+		t3.AddRow(fmt.Sprintf("%.1f", scale), fmtSeconds(r.SigmaSeconds[i]))
+	}
+	return out + t3.String()
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lite/internal/metrics"
+	"lite/internal/sparksim"
+)
+
+// ExtraResult is a beyond-paper extension: the related-work approaches the
+// paper only surveys in §VI (Ernest-style cost models, AutoTune-style LHS
+// search, DAC-style learned search) compared against LITE under the same
+// protocol as Table VI.
+type ExtraResult struct {
+	Methods []string
+	Apps    []string
+	Seconds map[string]map[string]float64
+	ETR     map[string]map[string]float64
+}
+
+// Extra runs the extended comparison on every application (large data,
+// cluster C).
+func Extra(s *Suite) *ExtraResult {
+	tuner := s.Tuner()
+	res := &ExtraResult{
+		Methods: []string{"Default", "Ernest", "AutoTune", "DAC", "LITE"},
+		Seconds: map[string]map[string]float64{},
+		ETR:     map[string]map[string]float64{},
+	}
+	for _, m := range res.Methods {
+		res.Seconds[m] = map[string]float64{}
+		res.ETR[m] = map[string]float64{}
+	}
+	methods := []TunerMethod{
+		DefaultTuner{},
+		NewErnestTuner(s),
+		NewAutoTuneTuner(),
+		NewDACTuner(s),
+	}
+	env := sparksim.ClusterC
+	for ai, app := range s.Apps {
+		res.Apps = append(res.Apps, app.Spec.Name)
+		data := app.Spec.MakeData(app.Sizes.Test)
+		for mi, m := range methods {
+			tr := m.Tune(app, data, env, s.Opts.TuningBudgetSeconds, s.rng(int64(900+ai*10+mi)))
+			res.Seconds[m.Name()][app.Spec.Name] = capSeconds(tr.BestSeconds)
+		}
+		rec := tuner.Recommend(app.Spec, data, env)
+		res.Seconds["LITE"][app.Spec.Name] = capSeconds(sparksim.Simulate(app.Spec, data, env, rec.Config).Seconds)
+	}
+	for _, app := range res.Apps {
+		tDef := res.Seconds["Default"][app]
+		tMin := tDef
+		for _, m := range res.Methods {
+			if tm := res.Seconds[m][app]; tm < tMin {
+				tMin = tm
+			}
+		}
+		for _, m := range res.Methods {
+			res.ETR[m][app] = metrics.ETR(tDef, res.Seconds[m][app], tMin)
+		}
+	}
+	return res
+}
+
+// MeanETR averages a method's ETR.
+func (r *ExtraResult) MeanETR(method string) float64 {
+	var s float64
+	for _, app := range r.Apps {
+		s += r.ETR[method][app]
+	}
+	return s / float64(len(r.Apps))
+}
+
+// Format renders the comparison.
+func (r *ExtraResult) Format() string {
+	t := NewTable("Extension: §VI related-work approaches vs LITE (large data, cluster C)",
+		append([]string{"application"}, r.Methods...)...)
+	for _, app := range r.Apps {
+		row := []string{app}
+		for _, m := range r.Methods {
+			row = append(row, fmtSeconds(r.Seconds[m][app]))
+		}
+		t.AddRow(row...)
+	}
+	mean := []string{"MEAN ETR"}
+	for _, m := range r.Methods {
+		mean = append(mean, fmt.Sprintf("%.2f", r.MeanETR(m)))
+	}
+	t.AddRow(mean...)
+	return t.String()
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// Figure1Result reproduces the motivation figure: execution time of
+// PageRank and TriangleCount on 160 MB input as a function of (a)
+// spark.executor.cores alone and (b) the executor.cores × executor.memory
+// grid, showing application-specific optima.
+type Figure1Result struct {
+	Apps []string
+	// CoresSweep[app][i] is the time at executor.cores = i+1.
+	CoresSweep map[string][]float64
+	// BestCores[app] is the argmin of the sweep.
+	BestCores map[string]int
+	// Grid[app] is the (cores, memory) → time surface; Cores and MemGB
+	// list the axis values.
+	Cores []int
+	MemGB []int
+	Grid  map[string][][]float64
+	// BestCombo[app] is the best (cores, memory) pair.
+	BestCombo map[string][2]int
+}
+
+// baseFig1Config is a reasonable mid-range configuration so the sweeps
+// isolate the swept knobs (as the paper's Figure 1 does).
+func baseFig1Config() sparksim.Config {
+	cfg := sparksim.DefaultConfig()
+	cfg[sparksim.KnobExecutorMemory] = 4
+	cfg[sparksim.KnobExecutorInstances] = 8
+	cfg[sparksim.KnobDefaultParallelism] = 64
+	return cfg
+}
+
+// Figure1 runs the sweeps on cluster B.
+func Figure1(s *Suite) *Figure1Result {
+	res := &Figure1Result{
+		Apps:       []string{"PageRank", "TriangleCount"},
+		CoresSweep: map[string][]float64{},
+		BestCores:  map[string]int{},
+		Grid:       map[string][][]float64{},
+		BestCombo:  map[string][2]int{},
+	}
+	for c := 1; c <= 16; c++ {
+		res.Cores = append(res.Cores, c)
+	}
+	for m := 1; m <= 8; m++ {
+		res.MemGB = append(res.MemGB, m)
+	}
+	env := sparksim.ClusterB
+	for _, name := range res.Apps {
+		app := workload.ByName(name)
+		data := app.Spec.MakeData(160)
+
+		sweep := make([]float64, 0, 16)
+		best, bestC := 0.0, 0
+		for _, c := range res.Cores {
+			cfg := baseFig1Config()
+			cfg[sparksim.KnobExecutorCores] = float64(c)
+			t := sparksim.Simulate(app.Spec, data, env, cfg).Seconds
+			sweep = append(sweep, t)
+			if bestC == 0 || t < best {
+				best, bestC = t, c
+			}
+		}
+		res.CoresSweep[name] = sweep
+		res.BestCores[name] = bestC
+
+		grid := make([][]float64, len(res.Cores))
+		bestT := 0.0
+		var bestPair [2]int
+		for i, c := range res.Cores {
+			grid[i] = make([]float64, len(res.MemGB))
+			for j, m := range res.MemGB {
+				cfg := baseFig1Config()
+				cfg[sparksim.KnobExecutorCores] = float64(c)
+				cfg[sparksim.KnobExecutorMemory] = float64(m)
+				t := sparksim.Simulate(app.Spec, data, env, cfg).Seconds
+				grid[i][j] = t
+				if bestT == 0 || t < bestT {
+					bestT = t
+					bestPair = [2]int{c, m}
+				}
+			}
+		}
+		res.Grid[name] = grid
+		res.BestCombo[name] = bestPair
+	}
+	return res
+}
+
+// Format renders the figure data as text.
+func (r *Figure1Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: execution time (s) vs knobs on 160 MB input, cluster B\n\n")
+	t := NewTable("(a) spark.executor.cores sweep", append([]string{"app"}, intHeaders(r.Cores)...)...)
+	for _, app := range r.Apps {
+		row := []string{app}
+		for _, v := range r.CoresSweep[app] {
+			row = append(row, fmtSeconds(v))
+		}
+		t.AddRow(row...)
+	}
+	b.WriteString(t.String())
+	for _, app := range r.Apps {
+		fmt.Fprintf(&b, "optimal executor.cores for %s: %d\n", app, r.BestCores[app])
+	}
+	b.WriteString("\n(b) best (executor.cores, executor.memory) combination:\n")
+	for _, app := range r.Apps {
+		c := r.BestCombo[app]
+		fmt.Fprintf(&b, "  %s: cores=%d memory=%dGB (%.1f s)\n", app, c[0], c[1],
+			r.Grid[app][indexOf(r.Cores, c[0])][indexOf(r.MemGB, c[1])])
+	}
+	return b.String()
+}
+
+func intHeaders(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d", x)
+	}
+	return out
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"lite/internal/core"
+	"lite/internal/metrics"
+	"lite/internal/sparksim"
+	"lite/internal/stats"
+)
+
+// RankingScore is an (HR@5, NDCG@5) pair.
+type RankingScore struct {
+	HR   float64
+	NDCG float64
+}
+
+// evalRanker scores a ranker over gold cases and averages HR@5/NDCG@5.
+func evalRanker(r Ranker, cases []*GoldCase, k int) RankingScore {
+	var hr, ndcg float64
+	for _, gc := range cases {
+		scores := r.Scores(gc)
+		pred := metrics.RankByScore(scores)
+		gold := metrics.RankByScore(gc.Actual)
+		hr += metrics.HRAtK(pred, gold, k)
+		ndcg += metrics.NDCGAtK(pred, gold, k)
+	}
+	n := float64(len(cases))
+	return RankingScore{HR: hr / n, NDCG: ndcg / n}
+}
+
+// evalScores computes ranking metrics for precomputed candidate scores.
+func evalScores(scores, actual []float64, k int) RankingScore {
+	pred := metrics.RankByScore(scores)
+	gold := metrics.RankByScore(actual)
+	return RankingScore{
+		HR:   metrics.HRAtK(pred, gold, k),
+		NDCG: metrics.NDCGAtK(pred, gold, k),
+	}
+}
+
+// Table7Result is the ranking ablation (Table VII / RQ2.1, RQ2.2): HR@5 and
+// NDCG@5 of every feature/model combination over the validation data of
+// clusters A, B, C and the large testing data.
+type Table7Result struct {
+	Rows    []string // method names, table order
+	Columns []string // "A", "B", "C", "Large"
+	Scores  map[string]map[string]RankingScore
+}
+
+// Table7Rankers instantiates the Table VII method list.
+func Table7Rankers(s *Suite) []Ranker {
+	cfg := s.Opts.NECS
+	return []Ranker{
+		NewFlatRanker("LightGBM", ModeW, NewGBMModel(), s.Apps),
+		NewFlatRanker("LightGBM", ModeS, NewGBMModel(), s.Apps),
+		NewFlatRanker("LightGBM", ModeWC, NewGBMModel(), s.Apps),
+		NewFlatRanker("LightGBM", ModeSC, NewGBMModel(), s.Apps),
+		NewFlatRanker("LightGBM", ModeSCG, NewGBMModel(), s.Apps),
+		NewFlatRanker("MLP", ModeW, NewMLPModel(), s.Apps),
+		NewFlatRanker("MLP", ModeS, NewMLPModel(), s.Apps),
+		NewFlatRanker("MLP", ModeWC, NewMLPModel(), s.Apps),
+		NewFlatRanker("MLP", ModeSC, NewMLPModel(), s.Apps),
+		NewFlatRanker("MLP", ModeSCG, NewMLPModel(), s.Apps),
+		NewNeuralRanker(VariantGCN, cfg),
+		NewNeuralRanker(VariantLSTM, cfg),
+		NewNeuralRanker(VariantTransformer, cfg),
+		NewNeuralRanker(VariantNECS, cfg),
+	}
+}
+
+// Table7 trains every ranker once on the shared dataset and evaluates on
+// all four test columns.
+func Table7(s *Suite) *Table7Result {
+	res := &Table7Result{
+		Columns: []string{"A", "B", "C", "Large"},
+		Scores:  map[string]map[string]RankingScore{},
+	}
+	cases := map[string][]*GoldCase{
+		"A":     s.ValidationCases(sparksim.ClusterA, 401),
+		"B":     s.ValidationCases(sparksim.ClusterB, 402),
+		"C":     s.ValidationCases(sparksim.ClusterC, 403),
+		"Large": s.LargeCases(404),
+	}
+	for i, r := range Table7Rankers(s) {
+		r.Fit(s.Dataset(), s.rng(int64(410+i)))
+		res.Rows = append(res.Rows, r.Name())
+		res.Scores[r.Name()] = map[string]RankingScore{}
+		for _, col := range res.Columns {
+			res.Scores[r.Name()][col] = evalRanker(r, cases[col], 5)
+		}
+	}
+	return res
+}
+
+// Format renders Table VII.
+func (r *Table7Result) Format() string {
+	header := []string{"method"}
+	for _, c := range r.Columns {
+		header = append(header, c+" HR@5", c+" NDCG@5")
+	}
+	t := NewTable("Table VII: ranking performance (HR@5 / NDCG@5) per cluster and on large jobs", header...)
+	for _, m := range r.Rows {
+		row := []string{m}
+		for _, c := range r.Columns {
+			sc := r.Scores[m][c]
+			row = append(row, fmt.Sprintf("%.4f", sc.HR), fmt.Sprintf("%.4f", sc.NDCG))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table VIII(b): candidate sampling strategies
+// ---------------------------------------------------------------------------
+
+// Table8bResult compares candidate-generation strategies (RQ2.3 second
+// part): random uniform sampling, Latin Hypercube Sampling, and Adaptive
+// Candidate Generation — all ranked by the same trained NECS, evaluated by
+// the actual execution time of the top-1 choice on validation data in
+// cluster C.
+type Table8bResult struct {
+	Strategies []string
+	// MeanTopSeconds is the average actual time of each strategy's chosen
+	// configuration; MeanRegret the average gap to the best candidate any
+	// strategy found for that application.
+	MeanTopSeconds map[string]float64
+	MeanRegret     map[string]float64
+}
+
+// Table8b runs the comparison.
+func Table8b(s *Suite) *Table8bResult {
+	tuner := s.Tuner()
+	res := &Table8bResult{
+		Strategies:     []string{"Random", "LHS", "ACG"},
+		MeanTopSeconds: map[string]float64{},
+		MeanRegret:     map[string]float64{},
+	}
+	n := s.Opts.GoldCandidates
+	rng := s.rng(420)
+	env := sparksim.ClusterC
+	sums := map[string]float64{}
+	regrets := map[string]float64{}
+	for _, app := range s.Apps {
+		data := app.Spec.MakeData(app.Sizes.Valid)
+		chosen := map[string]float64{}
+		best := 0.0
+		for _, strat := range res.Strategies {
+			var cands []sparksim.Config
+			switch strat {
+			case "Random":
+				for i := 0; i < n; i++ {
+					cands = append(cands, core.ForceFeasible(sparksim.RandomConfig(rng), env))
+				}
+			case "LHS":
+				for _, u := range stats.LatinHypercube(n, sparksim.NumKnobs, rng) {
+					cands = append(cands, core.ForceFeasible(sparksim.FromNormalized(u), env))
+				}
+			case "ACG":
+				cands = tuner.ACG.SampleFeasible(app.Spec.Name, data, env, n, rng)
+			}
+			rec := tuner.RecommendFrom(app.Spec, data, env, cands)
+			actual := sparksim.Simulate(app.Spec, data, env, rec.Config).Seconds
+			chosen[strat] = actual
+			if best == 0 || actual < best {
+				best = actual
+			}
+		}
+		for _, strat := range res.Strategies {
+			sums[strat] += chosen[strat]
+			regrets[strat] += chosen[strat] - best
+		}
+	}
+	for _, strat := range res.Strategies {
+		res.MeanTopSeconds[strat] = sums[strat] / float64(len(s.Apps))
+		res.MeanRegret[strat] = regrets[strat] / float64(len(s.Apps))
+	}
+	return res
+}
+
+// Format renders Table VIII(b).
+func (r *Table8bResult) Format() string {
+	t := NewTable("Table VIII(b): sampling strategies ranked by NECS (validation, cluster C)",
+		"strategy", "mean top-1 time (s)", "mean regret (s)")
+	for _, strat := range r.Strategies {
+		t.AddRow(strat, fmtSeconds(r.MeanTopSeconds[strat]), fmtSeconds(r.MeanRegret[strat]))
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table XII: generalizing across computing environments
+// ---------------------------------------------------------------------------
+
+// Table12Result evaluates NECS trained on different cluster subsets
+// (NECS_AB, NECS_C, NECS_all) on cluster C validation data (RQ3.2).
+type Table12Result struct {
+	Variants []string
+	Scores   map[string]RankingScore
+}
+
+// Table12 trains the three variants and evaluates them.
+func Table12(s *Suite) *Table12Result {
+	res := &Table12Result{
+		Variants: []string{"NECS_AB", "NECS_C", "NECS_all"},
+		Scores:   map[string]RankingScore{},
+	}
+	full := s.Dataset()
+	subsets := map[string]func(env string) bool{
+		"NECS_AB":  func(env string) bool { return env == "A" || env == "B" },
+		"NECS_C":   func(env string) bool { return env == "C" },
+		"NECS_all": func(env string) bool { return true },
+	}
+	cases := s.ValidationCases(sparksim.ClusterC, 430)
+	for i, name := range res.Variants {
+		keep := subsets[name]
+		sub := &core.Dataset{Apps: full.Apps}
+		for _, run := range full.Runs {
+			if keep(run.Env.Name) {
+				sub.Runs = append(sub.Runs, run)
+				sub.Instances = append(sub.Instances, run.Stages...)
+			}
+		}
+		r := NewNeuralRanker(VariantNECS, s.Opts.NECS)
+		r.Fit(sub, s.rng(int64(440+i)))
+		res.Scores[name] = evalRanker(r, cases, 5)
+	}
+	return res
+}
+
+// Format renders Table XII.
+func (r *Table12Result) Format() string {
+	t := NewTable("Table XII: ranking on cluster C by training environment",
+		"variant", "HR@5", "NDCG@5")
+	for _, v := range r.Variants {
+		sc := r.Scores[v]
+		t.AddRowf(v, sc.HR, sc.NDCG)
+	}
+	return t.String()
+}

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lite/internal/metrics"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// Table6Result holds the end-to-end tuning comparison (Table VI / RQ1):
+// actual execution time of each method's configuration per application on
+// the large testing data in cluster C, plus the derived ETR values
+// (Figure 7 plots exactly these ETRs).
+type Table6Result struct {
+	Methods []string
+	Apps    []string
+	// Seconds[method][app] is the method's t (see §V-B).
+	Seconds map[string]map[string]float64
+	// ETR[method][app] per Equation (9), with t_min over all methods.
+	ETR map[string]map[string]float64
+	// LITEOverheadSeconds is the wall-clock recommendation overhead.
+	LITEOverheadSeconds float64
+	// Traces for Figure 8 (per method, for the case-study apps).
+	Traces map[string]map[string][]TracePoint
+}
+
+// Table6 runs all competitors on every application.
+func Table6(s *Suite) *Table6Result {
+	tuner := s.Tuner()
+	res := &Table6Result{
+		Methods: []string{"Default", "Manual", "MLP", "BO", "DDPG", "DDPG-C", "LITE"},
+		Seconds: map[string]map[string]float64{},
+		ETR:     map[string]map[string]float64{},
+		Traces:  map[string]map[string][]TracePoint{},
+	}
+	for _, m := range res.Methods {
+		res.Seconds[m] = map[string]float64{}
+		res.ETR[m] = map[string]float64{}
+		res.Traces[m] = map[string][]TracePoint{}
+	}
+
+	methods := []TunerMethod{
+		DefaultTuner{},
+		ManualTuner{},
+		NewMLPTuner(s),
+		NewBOTuner(s),
+		NewDDPGTuner(s, false),
+		NewDDPGTuner(s, true),
+	}
+
+	for ai, app := range s.Apps {
+		res.Apps = append(res.Apps, app.Spec.Name)
+		data := app.Spec.MakeData(app.Sizes.Test)
+		env := sparksim.ClusterC
+
+		for mi, m := range methods {
+			rng := s.rng(int64(200 + ai*10 + mi))
+			tr := m.Tune(app, data, env, s.Opts.TuningBudgetSeconds, rng)
+			res.Seconds[m.Name()][app.Spec.Name] = capSeconds(tr.BestSeconds)
+			res.Traces[m.Name()][app.Spec.Name] = tr.Trace
+		}
+
+		// LITE: the actual execution time of the FIRST recommendation.
+		rec := tuner.Recommend(app.Spec, data, env)
+		actual := sparksim.Simulate(app.Spec, data, env, rec.Config).Seconds
+		res.Seconds["LITE"][app.Spec.Name] = capSeconds(actual)
+		res.LITEOverheadSeconds += rec.Overhead.Seconds()
+		res.Traces["LITE"][app.Spec.Name] = []TracePoint{{OverheadSeconds: rec.Overhead.Seconds(), BestSeconds: actual}}
+	}
+	res.LITEOverheadSeconds /= float64(len(s.Apps))
+
+	// ETR per Equation (9): t_min is the least time by any method.
+	for _, app := range res.Apps {
+		tDef := res.Seconds["Default"][app]
+		tMin := tDef
+		for _, m := range res.Methods {
+			if t := res.Seconds[m][app]; t < tMin {
+				tMin = t
+			}
+		}
+		for _, m := range res.Methods {
+			res.ETR[m][app] = metrics.ETR(tDef, res.Seconds[m][app], tMin)
+		}
+	}
+	return res
+}
+
+func capSeconds(s float64) float64 {
+	if s > sparksim.FailCap {
+		return sparksim.FailCap
+	}
+	return s
+}
+
+// MeanETR averages a method's ETR over applications.
+func (r *Table6Result) MeanETR(method string) float64 {
+	var s float64
+	for _, app := range r.Apps {
+		s += r.ETR[method][app]
+	}
+	return s / float64(len(r.Apps))
+}
+
+// MeanSeconds averages a method's execution time over applications.
+func (r *Table6Result) MeanSeconds(method string) float64 {
+	var s float64
+	for _, app := range r.Apps {
+		s += r.Seconds[method][app]
+	}
+	return s / float64(len(r.Apps))
+}
+
+// Format renders Table VI plus the Figure 7 ETR matrix.
+func (r *Table6Result) Format() string {
+	var b strings.Builder
+	t := NewTable("Table VI: execution time (s) of tuned configurations, large data, cluster C",
+		append([]string{"application"}, r.Methods...)...)
+	for _, app := range r.Apps {
+		row := []string{app}
+		for _, m := range r.Methods {
+			row = append(row, fmtSeconds(r.Seconds[m][app]))
+		}
+		t.AddRow(row...)
+	}
+	avg := []string{"MEAN"}
+	for _, m := range r.Methods {
+		avg = append(avg, fmtSeconds(r.MeanSeconds(m)))
+	}
+	t.AddRow(avg...)
+	b.WriteString(t.String())
+
+	e := NewTable("\nFigure 7: ETR per application (1.0 = best of all methods)",
+		append([]string{"application"}, r.Methods...)...)
+	for _, app := range r.Apps {
+		row := []string{app}
+		for _, m := range r.Methods {
+			row = append(row, fmt.Sprintf("%.2f", r.ETR[m][app]))
+		}
+		e.AddRow(row...)
+	}
+	mrow := []string{"MEAN"}
+	for _, m := range r.Methods {
+		mrow = append(mrow, fmt.Sprintf("%.2f", r.MeanETR(m)))
+	}
+	e.AddRow(mrow...)
+	b.WriteString(e.String())
+	fmt.Fprintf(&b, "\nLITE mean recommendation overhead: %.3f s (paper: < 2 s)\n", r.LITEOverheadSeconds)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: tuning-overhead case study
+// ---------------------------------------------------------------------------
+
+// Figure8Result is the best-so-far-vs-overhead case study for DecisionTree
+// and LinearRegression (Figure 8).
+type Figure8Result struct {
+	Apps   []string
+	Traces map[string]map[string][]TracePoint // method → app → curve
+	// LITEPoints marks LITE's (overhead, actual) point per app.
+	LITEPoints map[string]TracePoint
+}
+
+// Figure8 runs BO and DDPG against LITE on the two case-study applications.
+func Figure8(s *Suite) *Figure8Result {
+	tuner := s.Tuner()
+	res := &Figure8Result{
+		Apps:       []string{"DecisionTree", "LinearRegression"},
+		Traces:     map[string]map[string][]TracePoint{"BO": {}, "DDPG": {}},
+		LITEPoints: map[string]TracePoint{},
+	}
+	bo := NewBOTuner(s)
+	ddpg := NewDDPGTuner(s, false)
+	for ai, name := range res.Apps {
+		app := workload.ByName(name)
+		data := app.Spec.MakeData(app.Sizes.Test)
+		env := sparksim.ClusterC
+		res.Traces["BO"][name] = bo.Tune(app, data, env, s.Opts.TuningBudgetSeconds, s.rng(int64(300+ai))).Trace
+		res.Traces["DDPG"][name] = ddpg.Tune(app, data, env, s.Opts.TuningBudgetSeconds, s.rng(int64(310+ai))).Trace
+		rec := tuner.Recommend(app.Spec, data, env)
+		actual := sparksim.Simulate(app.Spec, data, env, rec.Config).Seconds
+		res.LITEPoints[name] = TracePoint{OverheadSeconds: rec.Overhead.Seconds(), BestSeconds: actual}
+	}
+	return res
+}
+
+// Format renders the curves as text series.
+func (r *Figure8Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: best-so-far execution time (s) vs tuning overhead (s)\n")
+	for _, app := range r.Apps {
+		fmt.Fprintf(&b, "\n[%s]\n", app)
+		for _, m := range []string{"BO", "DDPG"} {
+			fmt.Fprintf(&b, "  %-5s:", m)
+			trace := r.Traces[m][app]
+			step := 1
+			if len(trace) > 12 {
+				step = len(trace) / 12
+			}
+			for i := 0; i < len(trace); i += step {
+				p := trace[i]
+				fmt.Fprintf(&b, " (%.0f, %.0f)", p.OverheadSeconds, p.BestSeconds)
+			}
+			b.WriteString("\n")
+		}
+		p := r.LITEPoints[app]
+		fmt.Fprintf(&b, "  LITE : recommended after %.2f s of overhead → %.0f s actual execution\n",
+			p.OverheadSeconds, p.BestSeconds)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table VIII(a): RFR point prediction vs LITE
+// ---------------------------------------------------------------------------
+
+// Table8aResult compares the RFR point-prediction tuner against LITE
+// (Table VIII(a) / RQ2.3 first part).
+type Table8aResult struct {
+	Apps        []string
+	RFRSeconds  map[string]float64
+	LITESeconds map[string]float64
+	RFRETR      float64
+	LITEETR     float64
+}
+
+// Table8a runs both on every application's large testing data in cluster C.
+func Table8a(s *Suite) *Table8aResult {
+	tuner := s.Tuner()
+	res := &Table8aResult{RFRSeconds: map[string]float64{}, LITESeconds: map[string]float64{}}
+	var etrRFR, etrLITE float64
+	for _, app := range s.Apps {
+		res.Apps = append(res.Apps, app.Spec.Name)
+		data := app.Spec.MakeData(app.Sizes.Test)
+		env := sparksim.ClusterC
+
+		rfrCfg := tuner.ACG.PointPrediction(app.Spec.Name, data)
+		rfrSec := sparksim.Simulate(app.Spec, data, env, rfrCfg).Seconds
+
+		rec := tuner.Recommend(app.Spec, data, env)
+		liteSec := sparksim.Simulate(app.Spec, data, env, rec.Config).Seconds
+
+		res.RFRSeconds[app.Spec.Name] = rfrSec
+		res.LITESeconds[app.Spec.Name] = liteSec
+
+		def := sparksim.Simulate(app.Spec, data, env, sparksim.DefaultConfig()).Seconds
+		tMin := rfrSec
+		if liteSec < tMin {
+			tMin = liteSec
+		}
+		etrRFR += metrics.ETR(def, rfrSec, tMin)
+		etrLITE += metrics.ETR(def, liteSec, tMin)
+	}
+	res.RFRETR = etrRFR / float64(len(res.Apps))
+	res.LITEETR = etrLITE / float64(len(res.Apps))
+	return res
+}
+
+// Format renders Table VIII(a).
+func (r *Table8aResult) Format() string {
+	t := NewTable("Table VIII(a): RFR point prediction vs LITE (large data, cluster C)",
+		"application", "RFR t(s)", "LITE t(s)")
+	for _, app := range r.Apps {
+		t.AddRow(app, fmtSeconds(r.RFRSeconds[app]), fmtSeconds(r.LITESeconds[app]))
+	}
+	return t.String() + fmt.Sprintf("\nmean ETR: RFR=%.3f LITE=%.3f\n", r.RFRETR, r.LITEETR)
+}

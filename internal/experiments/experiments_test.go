@@ -1,0 +1,390 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lite/internal/core"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// tinySuite returns a fast suite over a few applications with reduced
+// training settings, for unit testing the experiment machinery.
+func tinySuite(t *testing.T) *Suite {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.ConfigsPerInstance = 4
+	opts.GoldCandidates = 8
+	opts.RecommendCandidates = 16
+	opts.NECS.Epochs = 3
+	opts.TuningBudgetSeconds = 2000
+	apps := []*workload.App{
+		workload.ByName("WordCount"),
+		workload.ByName("Terasort"),
+		workload.ByName("PageRank"),
+	}
+	return NewSuiteWithApps(opts, apps)
+}
+
+func TestSuiteCachesDatasetAndTuner(t *testing.T) {
+	s := tinySuite(t)
+	if s.Dataset() != s.Dataset() {
+		t.Fatal("dataset not cached")
+	}
+	if s.Tuner() != s.Tuner() {
+		t.Fatal("tuner not cached")
+	}
+	if len(s.Source()) == 0 {
+		t.Fatal("empty encoded source")
+	}
+}
+
+func TestGoldRankingFeasibleAndScored(t *testing.T) {
+	s := tinySuite(t)
+	app := s.Apps[0]
+	gc := s.GoldRanking(app, app.Sizes.Valid, sparksim.ClusterC, 6, s.rng(1))
+	if len(gc.Configs) != 6 || len(gc.Actual) != 6 || len(gc.Runs) != 6 {
+		t.Fatalf("gold case sizes wrong: %d/%d/%d", len(gc.Configs), len(gc.Actual), len(gc.Runs))
+	}
+	for i, cfg := range gc.Configs {
+		if !sparksim.Feasible(cfg, sparksim.ClusterC) {
+			t.Fatalf("candidate %d infeasible", i)
+		}
+		if gc.Actual[i] <= 0 {
+			t.Fatalf("candidate %d has nonpositive time", i)
+		}
+	}
+}
+
+func TestFlatModesProperties(t *testing.T) {
+	if ModeW.StageLevel() || ModeWC.StageLevel() {
+		t.Fatal("W/WC are app-level")
+	}
+	if !ModeS.StageLevel() || !ModeSC.StageLevel() || !ModeSCG.StageLevel() {
+		t.Fatal("S/SC/SCG are stage-level")
+	}
+	if ModeW.UsesCode() || ModeS.UsesCode() {
+		t.Fatal("W/S have no code features")
+	}
+	if !ModeWC.UsesCode() || !ModeSC.UsesCode() || !ModeSCG.UsesCode() {
+		t.Fatal("WC/SC/SCG include code")
+	}
+	names := []string{ModeW.String(), ModeS.String(), ModeWC.String(), ModeSC.String(), ModeSCG.String()}
+	if strings.Join(names, ",") != "W,S,WC,SC,SCG" {
+		t.Fatalf("mode names wrong: %v", names)
+	}
+}
+
+func TestFeaturizerRowWidthsConsistent(t *testing.T) {
+	s := tinySuite(t)
+	ds := s.Dataset()
+	for _, mode := range []FlatMode{ModeS, ModeSC, ModeSCG} {
+		f := NewFeaturizer(mode, s.Apps, ds.Instances)
+		w := len(f.StageRow(&ds.Instances[0]))
+		for i := 1; i < 20 && i < len(ds.Instances); i++ {
+			if len(f.StageRow(&ds.Instances[i])) != w {
+				t.Fatalf("mode %v: inconsistent row width", mode)
+			}
+		}
+	}
+	for _, mode := range []FlatMode{ModeW, ModeWC} {
+		f := NewFeaturizer(mode, s.Apps, ds.Instances)
+		w := len(f.AppRow(&ds.Runs[0], s.Apps[0].Spec.MainCode))
+		for i := 1; i < 10 && i < len(ds.Runs); i++ {
+			if len(f.AppRow(&ds.Runs[i], "")) != w {
+				t.Fatalf("mode %v: inconsistent app row width", mode)
+			}
+		}
+	}
+}
+
+func TestFlatRankerFitAndScore(t *testing.T) {
+	s := tinySuite(t)
+	r := NewFlatRanker("LightGBM", ModeSC, NewGBMModel(), s.Apps)
+	r.Fit(s.Dataset(), s.rng(2))
+	gc := s.GoldRanking(s.Apps[0], s.Apps[0].Sizes.Valid, sparksim.ClusterC, 6, s.rng(3))
+	scores := r.Scores(gc)
+	if len(scores) != 6 {
+		t.Fatalf("got %d scores", len(scores))
+	}
+	for _, sc := range scores {
+		if sc < 0 {
+			t.Fatalf("negative predicted time %v", sc)
+		}
+	}
+	if r.Name() != "LightGBM+SC" {
+		t.Fatalf("ranker name %q", r.Name())
+	}
+}
+
+func TestNeuralRankerVariants(t *testing.T) {
+	s := tinySuite(t)
+	cfg := s.Opts.NECS
+	cfg.Epochs = 1
+	gc := s.GoldRanking(s.Apps[1], s.Apps[1].Sizes.Valid, sparksim.ClusterC, 4, s.rng(4))
+	for _, v := range []NeuralVariant{VariantNECS, VariantGCN, VariantLSTM, VariantTransformer} {
+		r := NewNeuralRanker(v, cfg)
+		r.Fit(s.Dataset(), s.rng(5))
+		scores := r.Scores(gc)
+		if len(scores) != 4 {
+			t.Fatalf("%v: got %d scores", v, len(scores))
+		}
+		for _, sc := range scores {
+			if sc < 0 {
+				t.Fatalf("%v: negative score", v)
+			}
+		}
+	}
+}
+
+func TestEvalScoresPerfect(t *testing.T) {
+	actual := []float64{3, 1, 2}
+	sc := evalScores(actual, actual, 3)
+	if sc.HR != 1 || sc.NDCG != 1 {
+		t.Fatalf("perfect scores should be 1/1, got %v", sc)
+	}
+}
+
+func TestManualTunerBeatsDefault(t *testing.T) {
+	app := workload.ByName("PageRank")
+	data := app.Spec.MakeData(app.Sizes.Test)
+	env := sparksim.ClusterC
+	res := ManualTuner{}.Tune(app, data, env, 20000, rand.New(rand.NewSource(1)))
+	def := sparksim.Simulate(app.Spec, data, env, sparksim.DefaultConfig()).Seconds
+	if res.BestSeconds >= def {
+		t.Fatalf("expert rules should beat the default: %v vs %v", res.BestSeconds, def)
+	}
+	if res.Trials < 2 {
+		t.Fatalf("manual tuner should try several configs, got %d", res.Trials)
+	}
+}
+
+func TestBOTunerImprovesOverWarmStart(t *testing.T) {
+	s := tinySuite(t)
+	bo := NewBOTuner(s)
+	app := s.Apps[2] // PageRank
+	data := app.Spec.MakeData(app.Sizes.Valid)
+	res := bo.Tune(app, data, sparksim.ClusterC, 20000, rand.New(rand.NewSource(2)))
+	if res.Trials < 3 {
+		t.Fatalf("BO should run several trials within budget, got %d", res.Trials)
+	}
+	// Trace must be monotonically non-increasing in best time.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].BestSeconds > res.Trace[i-1].BestSeconds {
+			t.Fatal("best-so-far curve must not increase")
+		}
+		if res.Trace[i].OverheadSeconds <= res.Trace[i-1].OverheadSeconds {
+			t.Fatal("overhead must be strictly increasing")
+		}
+	}
+}
+
+func TestDDPGTunerRunsWithinBudget(t *testing.T) {
+	s := tinySuite(t)
+	dd := NewDDPGTuner(s, true)
+	app := s.Apps[0]
+	data := app.Spec.MakeData(app.Sizes.Valid)
+	res := dd.Tune(app, data, sparksim.ClusterC, 1000, rand.New(rand.NewSource(3)))
+	if res.Trials == 0 {
+		t.Fatal("DDPG ran no trials")
+	}
+	if dd.Name() != "DDPG-C" {
+		t.Fatalf("name %q", dd.Name())
+	}
+}
+
+func TestExpertBaseFeasibleEverywhere(t *testing.T) {
+	for _, app := range workload.All() {
+		for _, env := range sparksim.AllClusters {
+			cfg := expertBase(app, app.Spec.MakeData(1000), env)
+			if !sparksim.Feasible(cfg, env) {
+				t.Fatalf("expert base infeasible for %s on cluster %s", app.Spec.Name, env.Name)
+			}
+		}
+	}
+}
+
+func TestFigure1ShapesHold(t *testing.T) {
+	s := tinySuite(t)
+	r := Figure1(s)
+	for _, app := range r.Apps {
+		if len(r.CoresSweep[app]) != 16 {
+			t.Fatalf("%s: sweep length %d", app, len(r.CoresSweep[app]))
+		}
+		// The optimum must be interior (not 1 core, not blindly max).
+		if r.BestCores[app] <= 1 || r.BestCores[app] >= 16 {
+			t.Fatalf("%s: degenerate optimum at %d cores", app, r.BestCores[app])
+		}
+	}
+	// App-specific optima: the two apps should not share the same best
+	// cores (Figure 1's point) — with the seeded simulator this is stable.
+	if r.BestCores["PageRank"] == r.BestCores["TriangleCount"] {
+		t.Log("warning: both apps share the same optimum; Figure 1 contrast weakened")
+	}
+	if !strings.Contains(r.Format(), "optimal executor.cores") {
+		t.Fatal("Format output incomplete")
+	}
+}
+
+func TestFigure9AugmentationPositive(t *testing.T) {
+	s := tinySuite(t)
+	r := Figure9(s)
+	for _, app := range r.Apps {
+		if r.Amplification[app] <= 1 {
+			t.Fatalf("%s: no augmentation (%vx)", app, r.Amplification[app])
+		}
+	}
+	// Iterative PageRank must amplify far more than WordCount.
+	if r.Amplification["PageRank"] <= r.Amplification["WordCount"] {
+		t.Fatal("iterative app should amplify more")
+	}
+}
+
+func TestTable8bStrategies(t *testing.T) {
+	s := tinySuite(t)
+	r := Table8b(s)
+	if len(r.Strategies) != 3 {
+		t.Fatalf("strategies: %v", r.Strategies)
+	}
+	for _, strat := range r.Strategies {
+		if r.MeanTopSeconds[strat] <= 0 {
+			t.Fatalf("%s: nonpositive mean time", strat)
+		}
+		if r.MeanRegret[strat] < 0 {
+			t.Fatalf("%s: negative regret", strat)
+		}
+	}
+	if !strings.Contains(r.Format(), "ACG") {
+		t.Fatal("format missing ACG row")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := NewTable("t", "a", "bb")
+	tab.AddRow("1", "2")
+	tab.AddRowf(3.5, 4)
+	out := tab.String()
+	if !strings.Contains(out, "t\n") || !strings.Contains(out, "3.5000") {
+		t.Fatalf("table output wrong:\n%s", out)
+	}
+	if fmtSeconds(8000) != "FAIL(7200)" {
+		t.Fatal("fail cap formatting wrong")
+	}
+	if fmtSeconds(42.25) != "42.2" && fmtSeconds(42.25) != "42.3" {
+		t.Fatalf("fmtSeconds(42.25) = %s", fmtSeconds(42.25))
+	}
+}
+
+func TestColdTunerExcludesApp(t *testing.T) {
+	s := tinySuite(t)
+	excluded := s.Apps[0].Spec.Name
+	tuner := coldTuner(s, map[string]bool{excluded: true}, 9, s.Opts.NECS)
+	// The encoder's vocabulary must not contain tokens unique to the
+	// excluded app... at minimum the tuner must still recommend sanely.
+	app := workload.ByName(excluded)
+	rec := tuner.Recommend(app.Spec, app.Spec.MakeData(app.Sizes.Valid), sparksim.ClusterC)
+	if len(rec.Ranked) == 0 {
+		t.Fatal("cold tuner produced no ranking")
+	}
+}
+
+func TestCodeVectorNormalized(t *testing.T) {
+	v := codeVector(workload.ByName("Terasort"), 16)
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm < 0.99 || norm > 1.01 {
+		t.Fatalf("code vector norm %v", norm)
+	}
+}
+
+func TestSampleEncoded(t *testing.T) {
+	data := make([]*core.Encoded, 10)
+	for i := range data {
+		data[i] = &core.Encoded{}
+	}
+	rng := rand.New(rand.NewSource(1))
+	out := sampleEncoded(data, 4, rng)
+	if len(out) != 4 {
+		t.Fatalf("sampled %d", len(out))
+	}
+	if len(sampleEncoded(data, 100, rng)) != 10 {
+		t.Fatal("oversample should return all")
+	}
+}
+
+func TestErnestLeastSquares(t *testing.T) {
+	// y = 2 + 3a − b exactly recoverable.
+	x := [][]float64{{1, 1, 0}, {1, 0, 1}, {1, 2, 1}, {1, 3, 5}, {1, 4, 2}}
+	y := make([]float64, len(x))
+	for i, r := range x {
+		y[i] = 2 + 3*r[1] - r[2]
+	}
+	theta := leastSquares(x, y, 3)
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if diff := theta[i] - want[i]; diff > 1e-3 || diff < -1e-3 {
+			t.Fatalf("theta = %v, want %v", theta, want)
+		}
+	}
+}
+
+func TestErnestTunerRecommendsFeasible(t *testing.T) {
+	s := tinySuite(t)
+	e := NewErnestTuner(s)
+	app := s.Apps[0]
+	res := e.Tune(app, app.Spec.MakeData(app.Sizes.Valid), sparksim.ClusterC, 7200, rand.New(rand.NewSource(4)))
+	if res.Trials != 1 {
+		t.Fatalf("Ernest executes its single recommendation, got %d trials", res.Trials)
+	}
+	if !sparksim.Feasible(res.BestConfig, sparksim.ClusterC) {
+		t.Fatal("Ernest recommended an infeasible config")
+	}
+}
+
+func TestAutoTuneSpendsBudget(t *testing.T) {
+	app := workload.ByName("WordCount")
+	data := app.Spec.MakeData(app.Sizes.Valid)
+	res := NewAutoTuneTuner().Tune(app, data, sparksim.ClusterC, 600, rand.New(rand.NewSource(5)))
+	if res.Trials < 2 {
+		t.Fatalf("AutoTune should iterate, got %d trials", res.Trials)
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if last.OverheadSeconds < 600 && res.Trials < 8 {
+		t.Fatalf("AutoTune stopped early: %v s spent in %d trials", last.OverheadSeconds, res.Trials)
+	}
+}
+
+func TestDACTunerRecommendsFeasible(t *testing.T) {
+	s := tinySuite(t)
+	d := NewDACTuner(s)
+	app := s.Apps[1]
+	res := d.Tune(app, app.Spec.MakeData(app.Sizes.Valid), sparksim.ClusterC, 7200, rand.New(rand.NewSource(6)))
+	if !sparksim.Feasible(res.BestConfig, sparksim.ClusterC) {
+		t.Fatal("DAC recommended an infeasible config")
+	}
+}
+
+func TestACGSigmaScaleWidensRegion(t *testing.T) {
+	s := tinySuite(t)
+	tuner := s.Tuner()
+	app := s.Apps[0]
+	data := app.Spec.MakeData(app.Sizes.Valid)
+	tuner.ACG.SigmaScale = 1
+	lo1, hi1 := tuner.ACG.Region(app.Spec.Name, data)
+	tuner.ACG.SigmaScale = 2
+	lo2, hi2 := tuner.ACG.Region(app.Spec.Name, data)
+	tuner.ACG.SigmaScale = 0
+	wider := 0
+	for d := 0; d < sparksim.NumKnobs; d++ {
+		if hi2[d]-lo2[d] >= hi1[d]-lo1[d] {
+			wider++
+		}
+	}
+	if wider < sparksim.NumKnobs {
+		t.Fatalf("doubling sigma should not shrink any knob region (%d/%d ok)", wider, sparksim.NumKnobs)
+	}
+}

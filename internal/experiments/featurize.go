@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"lite/internal/feature"
+	"lite/internal/instrument"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// FlatMode selects the feature set of the non-neural ranking baselines in
+// Table VII (§V-C): W and S use no code; WC and SC add bag-of-words code
+// features; SCG adds a DAG summary on top of SC.
+type FlatMode int
+
+// Feature modes of Table VII.
+const (
+	// ModeW: application instance features — data + environment + knobs +
+	// application name (one-hot), no code.
+	ModeW FlatMode = iota
+	// ModeS: stage-level features — W plus the stage-level data statistics
+	// from the Spark monitor UI (input size, shuffle size, task count).
+	ModeS
+	// ModeWC: W plus bag-of-words over the application's main code.
+	ModeWC
+	// ModeSC: S plus bag-of-words over the stage-level (instrumented) code.
+	ModeSC
+	// ModeSCG: SC plus a scheduler-DAG summary (operation histogram) —
+	// standing in for the paper's LSTM-pretrained DAG embedding, which is
+	// likewise a fixed (not end-to-end-learned) DAG representation.
+	ModeSCG
+)
+
+// String names the mode as in Table VII.
+func (m FlatMode) String() string {
+	switch m {
+	case ModeW:
+		return "W"
+	case ModeS:
+		return "S"
+	case ModeWC:
+		return "WC"
+	case ModeSC:
+		return "SC"
+	case ModeSCG:
+		return "SCG"
+	}
+	return "?"
+}
+
+// StageLevel reports whether the mode trains on stage-level instances
+// (S/SC/SCG) rather than whole application runs (W/WC).
+func (m FlatMode) StageLevel() bool { return m == ModeS || m == ModeSC || m == ModeSCG }
+
+// UsesCode reports whether the mode includes code features.
+func (m FlatMode) UsesCode() bool { return m == ModeWC || m == ModeSC || m == ModeSCG }
+
+// Featurizer converts runs or stage instances into flat vectors for the
+// GBM/MLP baselines.
+type Featurizer struct {
+	Mode    FlatMode
+	appIdx  map[string]int
+	numApps int
+	vocab   *feature.Vocab
+	opIdx   map[string]int
+}
+
+// NewFeaturizer builds the featurizer from the training corpus. Vocabulary
+// sources follow the mode: main-body codes for WC, stage codes for SC/SCG.
+func NewFeaturizer(mode FlatMode, apps []*workload.App, train []instrument.StageInstance) *Featurizer {
+	f := &Featurizer{Mode: mode, appIdx: map[string]int{}, opIdx: map[string]int{}}
+	for _, a := range apps {
+		f.appIdx[a.Spec.Name] = f.numApps
+		f.numApps++
+	}
+	if mode.UsesCode() {
+		var corpus []string
+		if mode == ModeWC {
+			for _, a := range apps {
+				corpus = append(corpus, a.Spec.MainCode)
+			}
+		} else {
+			for i := range train {
+				corpus = append(corpus, train[i].Code)
+			}
+		}
+		f.vocab = feature.BuildVocab(corpus, 1)
+	}
+	if mode == ModeSCG {
+		for i, op := range sparksim.OpNames() {
+			f.opIdx[op] = i
+		}
+	}
+	return f
+}
+
+func (f *Featurizer) appOneHot(name string) []float64 {
+	v := make([]float64, f.numApps)
+	if i, ok := f.appIdx[name]; ok {
+		v[i] = 1
+	}
+	return v
+}
+
+// StageRow featurizes one stage instance (modes S/SC/SCG).
+func (f *Featurizer) StageRow(st *instrument.StageInstance) []float64 {
+	row := append([]float64(nil), feature.DenseFeatures(st)...)
+	row = append(row, f.appOneHot(st.AppName)...)
+	row = append(row, feature.StageStats(st)...)
+	if f.Mode.UsesCode() {
+		row = append(row, f.vocab.BagOfWords(st.Code)...)
+	}
+	if f.Mode == ModeSCG {
+		row = append(row, f.opHistogram(st.Ops)...)
+	}
+	return row
+}
+
+// AppRow featurizes one application run (modes W/WC). mainCode is the
+// application's main-body program.
+func (f *Featurizer) AppRow(run *instrument.AppInstance, mainCode string) []float64 {
+	row := append([]float64(nil), run.Config.Normalized()...)
+	row = append(row, run.Data.Features()...)
+	row = append(row, run.Env.Features()...)
+	row = append(row, f.appOneHot(run.AppName)...)
+	if f.Mode.UsesCode() {
+		row = append(row, f.vocab.BagOfWords(mainCode)...)
+	}
+	return row
+}
+
+// opHistogram summarizes a stage DAG as a normalized operation histogram.
+func (f *Featurizer) opHistogram(ops []string) []float64 {
+	h := make([]float64, len(f.opIdx)+1) // +1 for unknown ops
+	for _, op := range ops {
+		if i, ok := f.opIdx[op]; ok {
+			h[i]++
+		} else {
+			h[len(h)-1]++
+		}
+	}
+	if n := float64(len(ops)); n > 0 {
+		for i := range h {
+			h[i] /= n
+		}
+	}
+	return h
+}

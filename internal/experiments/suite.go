@@ -1,0 +1,166 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) on the sparksim testbed. Each experiment is a function
+// returning a structured result plus a formatted text table; cmd/litebench
+// and the repository-level benchmarks drive them.
+//
+// Scale note: the paper's evaluation ran for machine-days on three physical
+// clusters. The defaults here are sized for a single-core CI machine
+// (smaller candidate sets, fewer repetitions); every knob is exported so
+// the full-size run is one option change away. Shapes and orderings are the
+// reproduction target, not absolute seconds (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"math/rand"
+	"sync"
+
+	"lite/internal/core"
+	"lite/internal/instrument"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// Options sizes the experiment suite.
+type Options struct {
+	Seed int64
+	// ConfigsPerInstance: sampled configurations per (app, size, cluster)
+	// in the offline training set.
+	ConfigsPerInstance int
+	// NECS hyperparameters for the standard model.
+	NECS core.NECSConfig
+	// Candidates evaluated when building gold rankings.
+	GoldCandidates int
+	// CandidatesPerRecommendation for LITE's online step.
+	RecommendCandidates int
+	// TuningBudgetSeconds is the simulated budget for BO/DDPG ("2h").
+	TuningBudgetSeconds float64
+}
+
+// DefaultOptions returns the CI-sized configuration.
+func DefaultOptions() Options {
+	necs := core.DefaultNECSConfig()
+	necs.Epochs = 14
+	return Options{
+		Seed:                1,
+		ConfigsPerInstance:  8,
+		NECS:                necs,
+		GoldCandidates:      20,
+		RecommendCandidates: 64,
+		TuningBudgetSeconds: 7200,
+	}
+}
+
+// Suite owns the shared state every experiment reuses: the offline training
+// dataset, the standard trained LITE tuner, and the encoded source domain.
+type Suite struct {
+	Opts Options
+	Apps []*workload.App
+
+	dsOnce sync.Once
+	ds     *core.Dataset
+
+	tunerOnce sync.Once
+	tuner     *core.Tuner
+	source    []*core.Encoded
+}
+
+// NewSuite constructs a suite over all 15 applications.
+func NewSuite(opts Options) *Suite {
+	return &Suite{Opts: opts, Apps: workload.All()}
+}
+
+// NewSuiteWithApps constructs a suite restricted to the given applications
+// (used by fast tests; the paper's evaluation always uses all 15).
+func NewSuiteWithApps(opts Options, apps []*workload.App) *Suite {
+	return &Suite{Opts: opts, Apps: apps}
+}
+
+// Dataset lazily collects the offline training data (15 apps × 4 small
+// sizes × 3 clusters × ConfigsPerInstance runs).
+func (s *Suite) Dataset() *core.Dataset {
+	s.dsOnce.Do(func() {
+		rng := rand.New(rand.NewSource(s.Opts.Seed))
+		collect := core.DefaultCollectOptions()
+		collect.ConfigsPerInstance = s.Opts.ConfigsPerInstance
+		s.ds = core.Collect(s.Apps, collect, rng)
+	})
+	return s.ds
+}
+
+// Tuner lazily trains the standard LITE tuner on the shared dataset.
+func (s *Suite) Tuner() *core.Tuner {
+	s.tunerOnce.Do(func() {
+		opts := core.DefaultTrainOptions()
+		opts.NECS = s.Opts.NECS
+		opts.Seed = s.Opts.Seed
+		s.tuner = core.TrainOn(s.Dataset(), opts)
+		s.tuner.NumCandidates = s.Opts.RecommendCandidates
+		s.source = core.EncodeAll(s.tuner.Model.Encoder, s.Dataset().Instances)
+	})
+	return s.tuner
+}
+
+// Source returns the encoded source-domain training set.
+func (s *Suite) Source() []*core.Encoded {
+	s.Tuner()
+	return s.source
+}
+
+// rng derives a deterministic stream for a sub-experiment.
+func (s *Suite) rng(offset int64) *rand.Rand {
+	return rand.New(rand.NewSource(s.Opts.Seed*1000 + offset))
+}
+
+// GoldCase is one ranking-evaluation case: a candidate set with its actual
+// (gold) execution times on a given application/data/environment.
+type GoldCase struct {
+	App     *workload.App
+	Data    sparksim.DataSpec
+	Env     sparksim.Environment
+	Configs []sparksim.Config
+	// Actual execution times per candidate, FailCap for failures.
+	Actual []float64
+	// Runs holds the instrumented runs (for stage-stat features).
+	Runs []instrument.AppInstance
+}
+
+// GoldRanking builds a candidate set and its ground-truth ordering. All
+// candidates pass the static allocation check for the environment so the
+// ranking task is about performance, not trivial feasibility.
+func (s *Suite) GoldRanking(app *workload.App, sizeMB float64, env sparksim.Environment, n int, rng *rand.Rand) *GoldCase {
+	data := app.Spec.MakeData(sizeMB)
+	gc := &GoldCase{App: app, Data: data, Env: env}
+	for len(gc.Configs) < n {
+		cfg := sparksim.RandomConfig(rng)
+		if !sparksim.Feasible(cfg, env) {
+			cfg = core.ForceFeasible(cfg, env)
+		}
+		run := instrument.Run(app.Spec, data, env, cfg)
+		gc.Configs = append(gc.Configs, cfg)
+		gc.Actual = append(gc.Actual, run.Result.Seconds)
+		gc.Runs = append(gc.Runs, run)
+	}
+	return gc
+}
+
+// ValidationCases builds one gold case per application on its validation
+// size in the given cluster.
+func (s *Suite) ValidationCases(env sparksim.Environment, rngOffset int64) []*GoldCase {
+	rng := s.rng(rngOffset)
+	cases := make([]*GoldCase, 0, len(s.Apps))
+	for _, app := range s.Apps {
+		cases = append(cases, s.GoldRanking(app, app.Sizes.Valid, env, s.Opts.GoldCandidates, rng))
+	}
+	return cases
+}
+
+// LargeCases builds one gold case per application on its large testing size
+// in cluster C ("Large" column of Table VII).
+func (s *Suite) LargeCases(rngOffset int64) []*GoldCase {
+	rng := s.rng(rngOffset)
+	cases := make([]*GoldCase, 0, len(s.Apps))
+	for _, app := range s.Apps {
+		cases = append(cases, s.GoldRanking(app, app.Sizes.Test, sparksim.ClusterC, s.Opts.GoldCandidates, rng))
+	}
+	return cases
+}

@@ -1,0 +1,202 @@
+package feature
+
+import (
+	"math"
+	"testing"
+
+	"lite/internal/instrument"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize(`val x = rdd.sortByKey(ascending = false)`)
+	want := []string{"val", "x", "rdd", "sortByKey", "ascending", "false"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens %v, want %v", toks, want)
+		}
+	}
+}
+
+func TestTokenizePreservesCase(t *testing.T) {
+	toks := Tokenize("TeraSortPartitioner")
+	if len(toks) != 1 || toks[0] != "TeraSortPartitioner" {
+		t.Fatalf("case not preserved: %v", toks)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if len(Tokenize("  \n\t.;()")) != 0 {
+		t.Fatal("punctuation-only input should yield no tokens")
+	}
+}
+
+func TestVocabEncodeRoundTrip(t *testing.T) {
+	v := BuildVocab([]string{"map filter map reduceByKey", "map sortByKey"}, 1)
+	ids := v.Encode("map sortByKey", 4)
+	if len(ids) != 4 {
+		t.Fatalf("length %d", len(ids))
+	}
+	if ids[0] == OOVID || ids[1] == OOVID {
+		t.Fatalf("known tokens mapped to oov: %v", ids)
+	}
+	if ids[2] != -1 || ids[3] != -1 {
+		t.Fatalf("padding wrong: %v", ids)
+	}
+	if ids[0] != v.ID("map") || ids[1] != v.ID("sortByKey") {
+		t.Fatal("Encode and ID disagree")
+	}
+}
+
+func TestVocabOOVHandling(t *testing.T) {
+	v := BuildVocab([]string{"map filter"}, 1)
+	ids := v.Encode("map unknownToken", 2)
+	if ids[1] != OOVID {
+		t.Fatalf("unknown token should map to oov, got %d", ids[1])
+	}
+	v.UseOOV = false
+	ids = v.Encode("map unknownToken", 2)
+	if ids[1] != -1 {
+		t.Fatalf("Cold-UNK should drop unknown tokens, got %v", ids)
+	}
+}
+
+func TestVocabMinCount(t *testing.T) {
+	v := BuildVocab([]string{"rare common common common"}, 2)
+	if v.ID("rare") != OOVID {
+		t.Fatal("rare token should be excluded at minCount=2")
+	}
+	if v.ID("common") == OOVID {
+		t.Fatal("common token should be in vocab")
+	}
+}
+
+func TestVocabEncodeTruncates(t *testing.T) {
+	v := BuildVocab([]string{"a b c d e"}, 1)
+	ids := v.Encode("a b c d e", 3)
+	if len(ids) != 3 {
+		t.Fatalf("truncation failed: %v", ids)
+	}
+}
+
+func TestOpVocabOneHot(t *testing.T) {
+	insts := []instrument.StageInstance{
+		{Ops: []string{"map", "reduceByKey"}},
+		{Ops: []string{"map", "sortByKey"}},
+	}
+	v := BuildOpVocab(insts)
+	if v.Width() != 4 { // 3 ops + oov
+		t.Fatalf("width %d, want 4", v.Width())
+	}
+	m := v.NodeFeatures([]string{"map", "neverSeen"})
+	if m.Rows != 2 || m.Cols != 4 {
+		t.Fatalf("node features shape %dx%d", m.Rows, m.Cols)
+	}
+	// Each row is one-hot.
+	for i := 0; i < m.Rows; i++ {
+		var sum float64
+		for j := 0; j < m.Cols; j++ {
+			sum += m.At(i, j)
+		}
+		if sum != 1 {
+			t.Fatalf("row %d not one-hot", i)
+		}
+	}
+	// Unknown op hits the oov column (last).
+	if m.At(1, 3) != 1 {
+		t.Fatal("unseen op should use the oov column")
+	}
+}
+
+func TestOpVocabColdUNK(t *testing.T) {
+	v := BuildOpVocab([]instrument.StageInstance{{Ops: []string{"map"}}})
+	v.UseOOV = false
+	m := v.NodeFeatures([]string{"neverSeen"})
+	if m.At(0, 0) != 1 {
+		t.Fatal("Cold-UNK maps unseen ops to column 0")
+	}
+}
+
+func TestDenseFeaturesWidthAndRange(t *testing.T) {
+	app := workload.ByName("WordCount").Spec
+	d := app.MakeData(100)
+	inst := instrument.Run(app, d, sparksim.ClusterB, sparksim.DefaultConfig())
+	if len(inst.Stages) == 0 {
+		t.Fatal("no stage instances")
+	}
+	f := DenseFeatures(&inst.Stages[0])
+	if len(f) != DenseWidth {
+		t.Fatalf("dense width %d, want %d", len(f), DenseWidth)
+	}
+	for i, v := range f {
+		if math.IsNaN(v) || v < -0.01 || v > 1.6 {
+			t.Fatalf("dense feature %d out of range: %v", i, v)
+		}
+	}
+}
+
+func TestStageStatsOnlyForExecutedRuns(t *testing.T) {
+	app := workload.ByName("WordCount").Spec
+	d := app.MakeData(100)
+	inst := instrument.Run(app, d, sparksim.ClusterB, sparksim.DefaultConfig())
+	s := StageStats(&inst.Stages[0])
+	if len(s) != StageStatsWidth {
+		t.Fatalf("stage stats width %d", len(s))
+	}
+	if s[0] <= 0 {
+		t.Fatal("input MB stat should be positive for the first stage")
+	}
+	for _, v := range s {
+		if v < 0 || v > 1 {
+			t.Fatalf("stage stat out of [0,1]: %v", v)
+		}
+	}
+}
+
+func TestBagOfWordsNormalized(t *testing.T) {
+	v := BuildVocab([]string{"map filter reduceByKey"}, 1)
+	bow := v.BagOfWords("map map filter")
+	var norm float64
+	for _, x := range bow {
+		norm += x * x
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("BOW not L2-normalized: %v", norm)
+	}
+	if len(bow) != v.Size() {
+		t.Fatalf("BOW width %d, want %d", len(bow), v.Size())
+	}
+}
+
+func TestBagOfWordsEmptyCode(t *testing.T) {
+	v := BuildVocab([]string{"map"}, 1)
+	bow := v.BagOfWords("")
+	for _, x := range bow {
+		if x != 0 {
+			t.Fatal("empty code should give zero BOW")
+		}
+	}
+}
+
+func TestRealCorpusVocabulary(t *testing.T) {
+	var corpus []string
+	for _, a := range workload.All() {
+		for _, st := range a.Spec.Stages {
+			corpus = append(corpus, st.Code)
+		}
+	}
+	v := BuildVocab(corpus, 1)
+	if v.Size() < 200 {
+		t.Fatalf("workload corpus vocabulary suspiciously small: %d", v.Size())
+	}
+	// Discriminative Spark API tokens must be present.
+	for _, tok := range []string{"sortByKey", "reduceByKey", "treeAggregate", "aggregateMessages", "TeraSortPartitioner"} {
+		if v.ID(tok) == OOVID {
+			t.Fatalf("token %q missing from corpus vocabulary", tok)
+		}
+	}
+}

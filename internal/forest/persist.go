@@ -1,0 +1,91 @@
+package forest
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// flatTree is the serialized form of a Tree: nodes flattened into parallel
+// arrays, children referenced by index (−1 for none).
+type flatTree struct {
+	Feature []int     `json:"feature"`
+	Thresh  []float64 `json:"thresh"`
+	Left    []int     `json:"left"`
+	Right   []int     `json:"right"`
+	Value   []float64 `json:"value"`
+	Leaf    []bool    `json:"leaf"`
+}
+
+func flatten(t *Tree) *flatTree {
+	ft := &flatTree{}
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		id := len(ft.Leaf)
+		ft.Feature = append(ft.Feature, n.feature)
+		ft.Thresh = append(ft.Thresh, n.thresh)
+		ft.Value = append(ft.Value, n.value)
+		ft.Leaf = append(ft.Leaf, n.leaf)
+		ft.Left = append(ft.Left, -1)
+		ft.Right = append(ft.Right, -1)
+		if !n.leaf {
+			ft.Left[id] = walk(n.left)
+			ft.Right[id] = walk(n.right)
+		}
+		return id
+	}
+	walk(t.root)
+	return ft
+}
+
+func unflatten(ft *flatTree) (*Tree, error) {
+	n := len(ft.Leaf)
+	if n == 0 || len(ft.Feature) != n || len(ft.Thresh) != n || len(ft.Left) != n || len(ft.Right) != n || len(ft.Value) != n {
+		return nil, fmt.Errorf("forest: inconsistent serialized tree")
+	}
+	nodes := make([]node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = node{feature: ft.Feature[i], thresh: ft.Thresh[i], value: ft.Value[i], leaf: ft.Leaf[i]}
+		if !ft.Leaf[i] {
+			l, r := ft.Left[i], ft.Right[i]
+			if l < 0 || l >= n || r < 0 || r >= n {
+				return nil, fmt.Errorf("forest: child index out of range")
+			}
+			nodes[i].left = &nodes[l]
+			nodes[i].right = &nodes[r]
+		}
+	}
+	return &Tree{root: &nodes[0]}, nil
+}
+
+// MarshalJSON serializes the tree.
+func (t *Tree) MarshalJSON() ([]byte, error) { return json.Marshal(flatten(t)) }
+
+// UnmarshalJSON deserializes the tree.
+func (t *Tree) UnmarshalJSON(b []byte) error {
+	var ft flatTree
+	if err := json.Unmarshal(b, &ft); err != nil {
+		return err
+	}
+	nt, err := unflatten(&ft)
+	if err != nil {
+		return err
+	}
+	t.root = nt.root
+	return nil
+}
+
+// MarshalJSON serializes the forest as an array of trees.
+func (f *Forest) MarshalJSON() ([]byte, error) { return json.Marshal(f.Trees) }
+
+// UnmarshalJSON deserializes the forest.
+func (f *Forest) UnmarshalJSON(b []byte) error {
+	var trees []*Tree
+	if err := json.Unmarshal(b, &trees); err != nil {
+		return err
+	}
+	if len(trees) == 0 {
+		return fmt.Errorf("forest: empty serialized forest")
+	}
+	f.Trees = trees
+	return nil
+}

@@ -1,0 +1,172 @@
+// Package gp implements Gaussian-process regression with an Expected
+// Improvement acquisition — the OtterTune-inspired Bayesian-optimization
+// competitor "BO(2h)" of Table VI. The GP uses an ARD-free squared-
+// exponential kernel over normalized knob vectors, a Cholesky solver, and
+// warm-starting from the most similar observed instances (as the paper
+// describes: "we used 5 most similar instances in the training set to
+// initialize Gaussian Process").
+package gp
+
+import (
+	"errors"
+	"math"
+
+	"lite/internal/stats"
+)
+
+// GP is a Gaussian-process regressor over fixed-dimension inputs.
+type GP struct {
+	x         [][]float64
+	y         []float64
+	meanY     float64
+	lengthSq  float64
+	signalVar float64
+	noiseVar  float64
+
+	chol  [][]float64 // lower-triangular Cholesky factor of K+σ²I
+	alpha []float64   // (K+σ²I)⁻¹ (y−μ)
+}
+
+// New constructs a GP with the given kernel hyperparameters: length scale,
+// signal variance and observation noise variance.
+func New(lengthScale, signalVar, noiseVar float64) *GP {
+	return &GP{lengthSq: lengthScale * lengthScale, signalVar: signalVar, noiseVar: noiseVar}
+}
+
+// kernel is the squared-exponential covariance.
+func (g *GP) kernel(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return g.signalVar * math.Exp(-d2/(2*g.lengthSq))
+}
+
+// Fit conditions the GP on observations. It refits from scratch; call after
+// each new observation (datasets in BO stay small).
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) != len(y) || len(x) == 0 {
+		return errors.New("gp: empty or mismatched observations")
+	}
+	g.x = x
+	g.y = y
+	g.meanY = stats.Mean(y)
+
+	n := len(x)
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := g.kernel(x[i], x[j])
+			k[i][j] = v
+			k[j][i] = v
+		}
+		k[i][i] += g.noiseVar
+	}
+	chol, err := cholesky(k)
+	if err != nil {
+		return err
+	}
+	g.chol = chol
+
+	// alpha = K⁻¹(y−μ) via two triangular solves.
+	centered := make([]float64, n)
+	for i := range y {
+		centered[i] = y[i] - g.meanY
+	}
+	z := forwardSolve(chol, centered)
+	g.alpha = backwardSolve(chol, z)
+	return nil
+}
+
+// Predict returns the posterior mean and variance at point p.
+func (g *GP) Predict(p []float64) (mu, variance float64) {
+	if g.alpha == nil {
+		return g.meanY, g.signalVar
+	}
+	n := len(g.x)
+	kstar := make([]float64, n)
+	for i := range g.x {
+		kstar[i] = g.kernel(p, g.x[i])
+	}
+	mu = g.meanY
+	for i := range kstar {
+		mu += kstar[i] * g.alpha[i]
+	}
+	v := forwardSolve(g.chol, kstar)
+	variance = g.signalVar + g.noiseVar
+	for _, vi := range v {
+		variance -= vi * vi
+	}
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return mu, variance
+}
+
+// ExpectedImprovement computes EI at p for minimization against the best
+// observed value. xi is the exploration margin.
+func (g *GP) ExpectedImprovement(p []float64, best, xi float64) float64 {
+	mu, variance := g.Predict(p)
+	sigma := math.Sqrt(variance)
+	if sigma < 1e-12 {
+		return 0
+	}
+	imp := best - mu - xi
+	z := imp / sigma
+	return imp*stats.NormalCDF(z) + sigma*stats.NormalPDF(z)
+}
+
+func cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, errors.New("gp: matrix not positive definite")
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// forwardSolve solves L z = b for lower-triangular L.
+func forwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * z[k]
+		}
+		z[i] = sum / l[i][i]
+	}
+	return z
+}
+
+// backwardSolve solves Lᵀ x = z.
+func backwardSolve(l [][]float64, z []float64) []float64 {
+	n := len(z)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}

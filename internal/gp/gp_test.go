@@ -1,0 +1,132 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestInterpolatesObservations(t *testing.T) {
+	g := New(0.5, 1.0, 1e-6)
+	x := [][]float64{{0}, {0.5}, {1}}
+	y := []float64{1, 2, 3}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mu, v := g.Predict(x[i])
+		if math.Abs(mu-y[i]) > 1e-2 {
+			t.Fatalf("posterior mean at observed point %v = %v, want %v", x[i], mu, y[i])
+		}
+		if v > 1e-3 {
+			t.Fatalf("variance at observed point should be tiny, got %v", v)
+		}
+	}
+}
+
+func TestUncertaintyGrowsAwayFromData(t *testing.T) {
+	g := New(0.2, 1.0, 1e-4)
+	if err := g.Fit([][]float64{{0}, {0.1}}, []float64{0, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	_, vNear := g.Predict([]float64{0.05})
+	_, vFar := g.Predict([]float64{2})
+	if vFar <= vNear {
+		t.Fatalf("variance should grow away from data: near %v far %v", vNear, vFar)
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	g := New(1, 1, 0.01)
+	mu, v := g.Predict([]float64{0})
+	if mu != 0 || v <= 0 {
+		t.Fatalf("prior predict = (%v, %v)", mu, v)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	g := New(1, 1, 0.01)
+	if err := g.Fit(nil, nil); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	if err := g.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for mismatched data")
+	}
+}
+
+func TestExpectedImprovementPrefersPromisingRegions(t *testing.T) {
+	g := New(0.3, 1.0, 1e-4)
+	// Minimize: observed minimum 1.0 at x=0.5; high value at x=0.
+	x := [][]float64{{0}, {0.5}, {1}}
+	y := []float64{5, 1, 4}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	best := 1.0
+	eiNearMin := g.ExpectedImprovement([]float64{0.45}, best, 0.01)
+	eiNearMax := g.ExpectedImprovement([]float64{0.02}, best, 0.01)
+	if eiNearMin <= eiNearMax {
+		t.Fatalf("EI should prefer the region near the minimum: %v vs %v", eiNearMin, eiNearMax)
+	}
+	if eiNearMin < 0 || eiNearMax < 0 {
+		t.Fatal("EI must be non-negative")
+	}
+}
+
+func TestGPRegressionAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := New(0.4, 1.0, 1e-4)
+	n := 40
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	f := func(v []float64) float64 { return math.Sin(3*v[0]) + v[1] }
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = f(x[i])
+	}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	for i := 0; i < 50; i++ {
+		p := []float64{rng.Float64(), rng.Float64()}
+		mu, _ := g.Predict(p)
+		d := mu - f(p)
+		mse += d * d
+	}
+	mse /= 50
+	if mse > 0.05 {
+		t.Fatalf("GP test MSE too high: %v", mse)
+	}
+}
+
+func TestCholeskySolveRoundTrip(t *testing.T) {
+	// K x = b solved via forward+backward substitution must satisfy K x ≈ b.
+	k := [][]float64{
+		{4, 2, 0.5},
+		{2, 5, 1},
+		{0.5, 1, 3},
+	}
+	l, err := cholesky(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3}
+	z := forwardSolve(l, b)
+	x := backwardSolve(l, z)
+	for i := range b {
+		var got float64
+		for j := range x {
+			got += k[i][j] * x[j]
+		}
+		if math.Abs(got-b[i]) > 1e-9 {
+			t.Fatalf("Kx[%d] = %v, want %v", i, got, b[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	if _, err := cholesky([][]float64{{1, 2}, {2, 1}}); err == nil {
+		t.Fatal("expected failure on indefinite matrix")
+	}
+}

@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"math"
+
+	"lite/internal/tensor"
+)
+
+// Conv1DMaxPool implements a text-CNN feature extractor over a token
+// embedding matrix, matching NECS's code encoder (paper §III-D): for each
+// filter W_f ∈ R^{D×k} the op slides over the token axis of the D×N input,
+// producing an activation sequence of length N−k+1, then applies global
+// max-pooling, yielding one scalar per filter. The result is the flattened
+// 1×F feature map Q from Equation (1).
+//
+// filters holds F parameter nodes, each of shape D×k (all with the same k
+// for one instance of the op; use several ops for multiple kernel sizes).
+func Conv1DMaxPool(input *Node, filters []*Node, bias *Node) *Node {
+	d := input.Value.Rows
+	n := input.Value.Cols
+	f := len(filters)
+	if f == 0 {
+		panic("nn: Conv1DMaxPool requires at least one filter")
+	}
+	k := filters[0].Value.Cols
+	if n < k {
+		panic("nn: Conv1DMaxPool input shorter than kernel")
+	}
+	out := tensor.New(1, f)
+	argmax := make([]int, f)
+	for fi, filt := range filters {
+		if filt.Value.Rows != d || filt.Value.Cols != k {
+			panic("nn: Conv1DMaxPool filter shape mismatch")
+		}
+		best, bp := math.Inf(-1), 0
+		w := filt.Value
+		for p := 0; p+k <= n; p++ {
+			var s float64
+			for r := 0; r < d; r++ {
+				irow := input.Value.Data[r*n:]
+				wrow := w.Data[r*k:]
+				for c := 0; c < k; c++ {
+					s += irow[p+c] * wrow[c]
+				}
+			}
+			if s > best {
+				best, bp = s, p
+			}
+		}
+		out.Data[fi] = best + bias.Value.Data[fi]
+		argmax[fi] = bp
+	}
+	parents := make([]*Node, 0, f+2)
+	parents = append(parents, input)
+	parents = append(parents, filters...)
+	parents = append(parents, bias)
+	back := func(g *tensor.Tensor) {
+		var gin *tensor.Tensor
+		if input.requiresGrad {
+			gin = tensor.New(d, n)
+		}
+		gb := tensor.New(1, f)
+		for fi, filt := range filters {
+			gv := g.Data[fi]
+			gb.Data[fi] = gv
+			p := argmax[fi]
+			if filt.requiresGrad {
+				gw := tensor.New(d, k)
+				for r := 0; r < d; r++ {
+					for c := 0; c < k; c++ {
+						gw.Data[r*k+c] = gv * input.Value.Data[r*n+p+c]
+					}
+				}
+				filt.accumGrad(gw)
+			}
+			if gin != nil {
+				w := filt.Value
+				for r := 0; r < d; r++ {
+					for c := 0; c < k; c++ {
+						gin.Data[r*n+p+c] += gv * w.Data[r*k+c]
+					}
+				}
+			}
+		}
+		if gin != nil {
+			input.accumGrad(gin)
+		}
+		if bias.requiresGrad {
+			bias.accumGrad(gb)
+		}
+	}
+	return newNode(out, back, parents...)
+}
+
+// EmbeddingLookup gathers rows of the embedding table for the given ids and
+// returns them transposed as a D×N matrix (embedding dim × sequence length),
+// the orientation NECS's CNN expects. id < 0 selects the zero padding
+// column, which receives no gradient.
+func EmbeddingLookup(table *Node, ids []int) *Node {
+	d := table.Value.Cols
+	n := len(ids)
+	v := tensor.New(d, n)
+	for j, id := range ids {
+		if id < 0 {
+			continue
+		}
+		row := table.Value.RowView(id)
+		for r := 0; r < d; r++ {
+			v.Data[r*n+j] = row[r]
+		}
+	}
+	back := func(g *tensor.Tensor) {
+		if !table.requiresGrad {
+			return
+		}
+		gt := tensor.New(table.Value.Rows, table.Value.Cols)
+		for j, id := range ids {
+			if id < 0 {
+				continue
+			}
+			grow := gt.RowView(id)
+			for r := 0; r < d; r++ {
+				grow[r] += g.Data[r*n+j]
+			}
+		}
+		table.accumGrad(gt)
+	}
+	return newNode(v, back, table)
+}
+
+// EmbeddingLookupRows gathers rows of the embedding table as an N×D matrix
+// (sequence length × embedding dim), the orientation the LSTM and
+// Transformer encoders expect.
+func EmbeddingLookupRows(table *Node, ids []int) *Node {
+	d := table.Value.Cols
+	v := tensor.New(len(ids), d)
+	for i, id := range ids {
+		if id < 0 {
+			continue
+		}
+		copy(v.RowView(i), table.Value.RowView(id))
+	}
+	back := func(g *tensor.Tensor) {
+		if !table.requiresGrad {
+			return
+		}
+		gt := tensor.New(table.Value.Rows, table.Value.Cols)
+		for i, id := range ids {
+			if id < 0 {
+				continue
+			}
+			grow := gt.RowView(id)
+			for j, gv := range g.RowView(i) {
+				grow[j] += gv
+			}
+		}
+		table.accumGrad(gt)
+	}
+	return newNode(v, back, table)
+}

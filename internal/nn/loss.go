@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"math"
+
+	"lite/internal/tensor"
+)
+
+// MSELoss returns the scalar squared error (pred − target)² for a 1×1
+// prediction node against a constant target (Equation 4 of the paper sums
+// this across the training set).
+func MSELoss(pred *Node, target float64) *Node {
+	t := NewConst(tensor.FromRow([]float64{target}))
+	d := Sub(pred, t)
+	return Mul(d, d)
+}
+
+// BCELoss returns the scalar binary cross-entropy −y·log(p) − (1−y)·log(1−p)
+// for a 1×1 probability node p against the label y ∈ {0,1}. It is the
+// discriminator loss L_D in Adaptive Model Update (paper §IV-B).
+func BCELoss(p *Node, y float64) *Node {
+	const eps = 1e-9
+	pv := p.Value.Data[0]
+	clamped := math.Min(math.Max(pv, eps), 1-eps)
+	v := tensor.FromRow([]float64{-y*math.Log(clamped) - (1-y)*math.Log(1-clamped)})
+	back := func(g *tensor.Tensor) {
+		if !p.requiresGrad {
+			return
+		}
+		// d/dp of BCE, using the clamped probability for stability.
+		grad := (clamped - y) / (clamped * (1 - clamped))
+		p.accumGrad(tensor.FromRow([]float64{g.Data[0] * grad}))
+	}
+	return newNode(v, back, p)
+}
+
+// HuberLoss returns the scalar Huber (smooth-L1) loss with threshold delta,
+// used by the DDPG critic for stability.
+func HuberLoss(pred *Node, target, delta float64) *Node {
+	d := pred.Value.Data[0] - target
+	var v float64
+	if math.Abs(d) <= delta {
+		v = 0.5 * d * d
+	} else {
+		v = delta * (math.Abs(d) - 0.5*delta)
+	}
+	out := tensor.FromRow([]float64{v})
+	back := func(g *tensor.Tensor) {
+		if !pred.requiresGrad {
+			return
+		}
+		var grad float64
+		if math.Abs(d) <= delta {
+			grad = d
+		} else if d > 0 {
+			grad = delta
+		} else {
+			grad = -delta
+		}
+		pred.accumGrad(tensor.FromRow([]float64{g.Data[0] * grad}))
+	}
+	return newNode(out, back, pred)
+}

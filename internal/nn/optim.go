@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"math"
+
+	"lite/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the gradients currently stored on the
+	// parameters, then leaves the gradients untouched (call ZeroGrad).
+	Step()
+	// ZeroGrad clears all parameter gradients.
+	ZeroGrad()
+}
+
+// ZeroGrads clears the gradient buffers of the given parameters.
+func ZeroGrads(params []*Node) {
+	for _, p := range params {
+		if p.Grad != nil {
+			p.Grad.Zero()
+		}
+	}
+}
+
+// ClipGrads scales gradients down so their global L2 norm is at most c.
+func ClipGrads(params []*Node, c float64) {
+	var total float64
+	for _, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm <= c || norm == 0 {
+		return
+	}
+	s := c / norm
+	for _, p := range params {
+		if p.Grad != nil {
+			p.Grad.ScaleInPlace(s)
+		}
+	}
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	Params   []*Node
+	LR       float64
+	Momentum float64
+	vel      []*tensor.Tensor
+}
+
+// NewSGD constructs the optimizer.
+func NewSGD(params []*Node, lr, momentum float64) *SGD {
+	s := &SGD{Params: params, LR: lr, Momentum: momentum}
+	s.vel = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		s.vel[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+	}
+	return s
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step() {
+	for i, p := range s.Params {
+		if p.Grad == nil {
+			continue
+		}
+		v := s.vel[i]
+		for j := range v.Data {
+			v.Data[j] = s.Momentum*v.Data[j] - s.LR*p.Grad.Data[j]
+			p.Value.Data[j] += v.Data[j]
+		}
+	}
+}
+
+// ZeroGrad clears all parameter gradients.
+func (s *SGD) ZeroGrad() { ZeroGrads(s.Params) }
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015), the default for
+// training NECS and all neural baselines.
+type Adam struct {
+	Params []*Node
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	// WeightDecay applies decoupled L2 regularization (AdamW style).
+	WeightDecay float64
+
+	m, v []*tensor.Tensor
+	t    int
+}
+
+// NewAdam constructs Adam with standard hyperparameters.
+func NewAdam(params []*Node, lr float64) *Adam {
+	a := &Adam{Params: params, LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+		a.v[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+	}
+	return a
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.Params {
+		if p.Grad == nil {
+			continue
+		}
+		m, v := a.m[i], a.v[i]
+		for j := range p.Value.Data {
+			g := p.Grad.Data[j]
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
+			mHat := m.Data[j] / bc1
+			vHat := v.Data[j] / bc2
+			p.Value.Data[j] -= a.LR * (mHat/(math.Sqrt(vHat)+a.Eps) + a.WeightDecay*p.Value.Data[j])
+		}
+	}
+}
+
+// ZeroGrad clears all parameter gradients.
+func (a *Adam) ZeroGrad() { ZeroGrads(a.Params) }

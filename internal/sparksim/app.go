@@ -1,0 +1,159 @@
+package sparksim
+
+import "math"
+
+// StageSpec describes one scheduler stage of an application: the atomic
+// operations it performs (DAG nodes and edges), the expanded stage-level
+// source code the instrumentation agent recovers, and scaling factors that
+// tie the stage's cost to the application input.
+type StageSpec struct {
+	Name string
+	// Ops are the DAG node labels (atomic operations), in topological
+	// order; Edges are directed edges between op indices.
+	Ops   []string
+	Edges [][2]int
+	// Code is the expanded stage-level source code (paper Fig. 5) from
+	// which code tokens are extracted.
+	Code string
+	// InputFrac scales the application input size to this stage's input.
+	InputFrac float64
+	// ShuffleReadFrac is the fraction of stage input arriving over the
+	// network from a previous stage's shuffle.
+	ShuffleReadFrac float64
+	// OutputFrac is the fraction of stage input returned to the driver.
+	OutputFrac float64
+	// Iterated marks stages that repeat once per algorithm iteration.
+	Iterated bool
+	// ReadsCache marks stages that re-read a persisted RDD (iterative
+	// algorithms); their cost depends on the cache hit ratio.
+	ReadsCache bool
+}
+
+// profile is the aggregated cost signature of a stage derived from its ops.
+type profile struct {
+	cpu          float64
+	shuffleWrite float64
+	memExpand    float64
+	caches       bool
+	collects     bool
+}
+
+func (s *StageSpec) profile() profile {
+	var p profile
+	for _, name := range s.Ops {
+		op, ok := OpCatalog[name]
+		if !ok {
+			// Unknown operations behave like a generic map; this mirrors
+			// the paper's oov token for unseen atomic operations.
+			op = Op{CPU: 0.6, MemExpand: 0.4}
+		}
+		p.cpu += op.CPU
+		p.shuffleWrite += op.ShuffleWrite
+		p.memExpand += op.MemExpand
+		p.caches = p.caches || op.Caches
+		p.collects = p.collects || op.Collects
+	}
+	if p.shuffleWrite > 1.2 {
+		p.shuffleWrite = 1.2
+	}
+	return p
+}
+
+// AppSpec describes an analytical application: its main-body code, its
+// stage plan, and its data-shape parameters. Concrete applications live in
+// internal/workload.
+type AppSpec struct {
+	Name   string
+	Abbrev string
+	// Family is "ml", "graph" or "mapreduce" (Table V covers all three).
+	Family string
+	// MainCode is the brief main-body program (paper Fig. 4).
+	MainCode string
+	// Stages is the stage plan in scheduling order. Stages with Iterated
+	// set are executed once per iteration.
+	Stages []StageSpec
+	// DefaultIterations is used when the DataSpec does not specify one.
+	DefaultIterations int
+	// RowBytes approximates bytes per input row, to derive #rows from MB.
+	RowBytes float64
+	// Columns is the input column count (data feature #columns).
+	Columns int
+	// GraphData marks applications whose input is measured in #vertices
+	// rather than MB (LabelPropagation in Table V).
+	GraphData bool
+	// SkewFactor models key-skew sensitivity: heavier tails make shuffle
+	// stages more imbalanced (1 = uniform keys).
+	SkewFactor float64
+}
+
+// DataSpec describes one dataset an application runs on (the data feature
+// d_i of Table I is derived from it).
+type DataSpec struct {
+	SizeMB     float64
+	Rows       float64
+	Columns    int
+	Iterations int
+	Partitions int
+}
+
+// MakeData builds a DataSpec of the given size for the application,
+// deriving rows from the app's row width and filling in iteration counts.
+func (a *AppSpec) MakeData(sizeMB float64) DataSpec {
+	rows := sizeMB * 1024 * 1024 / a.RowBytes
+	return DataSpec{
+		SizeMB:     sizeMB,
+		Rows:       rows,
+		Columns:    a.Columns,
+		Iterations: a.DefaultIterations,
+		Partitions: 0,
+	}
+}
+
+// Features returns the four-dimensional data feature vector d_i (Table I),
+// log-scaled so small and large datasets remain comparable.
+func (d DataSpec) Features() []float64 {
+	return []float64{
+		log1p(d.Rows) / 25,
+		float64(d.Columns) / 64,
+		float64(d.Iterations) / 32,
+		float64(d.Partitions) / 512,
+	}
+}
+
+func log1p(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log1p(x)
+}
+
+// ExpandedStages returns the stage execution sequence with iterated stages
+// repeated data.Iterations times, matching how the DAG scheduler would
+// submit jobs for an iterative algorithm.
+func (a *AppSpec) ExpandedStages(data DataSpec) []int {
+	iters := data.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	var seq []int
+	i := 0
+	for i < len(a.Stages) {
+		if !a.Stages[i].Iterated {
+			seq = append(seq, i)
+			i++
+			continue
+		}
+		// Collect the contiguous iterated block and repeat it.
+		j := i
+		for j < len(a.Stages) && a.Stages[j].Iterated {
+			j++
+		}
+		for it := 0; it < iters; it++ {
+			for k := i; k < j; k++ {
+				seq = append(seq, k)
+			}
+		}
+		i = j
+	}
+	return seq
+}

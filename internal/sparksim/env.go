@@ -1,0 +1,43 @@
+package sparksim
+
+// Environment describes a compute cluster (one row of Table III plus the
+// entries of the paper's six-dimensional environment feature, Table II).
+type Environment struct {
+	Name        string
+	Nodes       int     // #nodes (computers) in the cluster
+	Cores       int     // #cores per node
+	FreqGHz     float64 // CPU frequency
+	MemGB       float64 // memory size per node
+	MemSpeedMTs float64 // memory speed (MT/s)
+	NetGbps     float64 // network bandwidth connecting the cluster
+}
+
+// The three evaluation clusters of Table III.
+var (
+	// ClusterA is the single-node development box.
+	ClusterA = Environment{Name: "A", Nodes: 1, Cores: 16, FreqGHz: 3.2, MemGB: 64, MemSpeedMTs: 2400, NetGbps: 10}
+	// ClusterB is the small three-node cluster.
+	ClusterB = Environment{Name: "B", Nodes: 3, Cores: 16, FreqGHz: 3.2, MemGB: 64, MemSpeedMTs: 2400, NetGbps: 10}
+	// ClusterC is the eight-node production-like cluster with less memory
+	// per node and a slower interconnect.
+	ClusterC = Environment{Name: "C", Nodes: 8, Cores: 16, FreqGHz: 2.9, MemGB: 16, MemSpeedMTs: 2666, NetGbps: 1}
+)
+
+// AllClusters lists the evaluation environments in Table III order.
+var AllClusters = []Environment{ClusterA, ClusterB, ClusterC}
+
+// Features returns the six-dimensional environment feature vector e_i
+// (Table II), normalized to comparable magnitudes for model input.
+func (e Environment) Features() []float64 {
+	return []float64{
+		float64(e.Nodes) / 8,
+		float64(e.Cores) / 16,
+		e.FreqGHz / 4,
+		e.MemGB / 64,
+		e.MemSpeedMTs / 3200,
+		e.NetGbps / 10,
+	}
+}
+
+// TotalCores returns the cluster-wide core count.
+func (e Environment) TotalCores() int { return e.Nodes * e.Cores }

@@ -1,0 +1,181 @@
+package sparksim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The paper's instrumentation pipeline recovers stage-level codes and DAG
+// schedulers by parsing Spark event-log files (§III-B Steps 1 and 3). The
+// simulator emits an equivalent event log — one JSON event per line, in
+// the spirit of the Spark history-server format — and ParseEventLog
+// reconstructs the per-stage view from it, so the instrumentation path can
+// be driven from logs exactly as the paper's agent is.
+
+// Event is one line of a simulated Spark event log.
+type Event struct {
+	Type string `json:"Event"`
+
+	// SparkListenerApplicationStart / End.
+	AppName   string  `json:"App Name,omitempty"`
+	Timestamp float64 `json:"Timestamp,omitempty"`
+
+	// SparkListenerStageSubmitted / StageCompleted.
+	StageID     int      `json:"Stage ID,omitempty"`
+	StageName   string   `json:"Stage Name,omitempty"`
+	StageIndex  int      `json:"Stage Index,omitempty"` // index into the app's stage plan
+	RDDOps      []string `json:"RDD Ops,omitempty"`
+	RDDEdges    [][2]int `json:"RDD Edges,omitempty"`
+	NumTasks    int      `json:"Number of Tasks,omitempty"`
+	InputMB     float64  `json:"Input MB,omitempty"`
+	ShuffleMB   float64  `json:"Shuffle Write MB,omitempty"`
+	DurationSec float64  `json:"Duration Sec,omitempty"`
+
+	// SparkListenerEnvironmentUpdate.
+	Config map[string]string `json:"Spark Properties,omitempty"`
+
+	// SparkListenerApplicationEnd.
+	Failed     bool    `json:"Failed,omitempty"`
+	FailReason string  `json:"Fail Reason,omitempty"`
+	TotalSec   float64 `json:"Total Sec,omitempty"`
+}
+
+// Event type names, following the Spark listener-bus vocabulary.
+const (
+	EventApplicationStart  = "SparkListenerApplicationStart"
+	EventEnvironmentUpdate = "SparkListenerEnvironmentUpdate"
+	EventStageSubmitted    = "SparkListenerStageSubmitted"
+	EventStageCompleted    = "SparkListenerStageCompleted"
+	EventApplicationEnd    = "SparkListenerApplicationEnd"
+)
+
+// WriteEventLog renders a simulated run as an event log: application
+// start, environment update (the knob values), one submitted/completed
+// pair per stage execution, and the application end.
+func WriteEventLog(w io.Writer, app *AppSpec, data DataSpec, env Environment, cfg Config, res Result) error {
+	bw := bufio.NewWriter(w)
+	emit := func(e Event) error {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	}
+	if err := emit(Event{Type: EventApplicationStart, AppName: app.Name}); err != nil {
+		return err
+	}
+	props := make(map[string]string, NumKnobs)
+	for i, k := range Knobs {
+		props[k.Name] = fmt.Sprintf("%g", cfg[i])
+	}
+	if err := emit(Event{Type: EventEnvironmentUpdate, Config: props}); err != nil {
+		return err
+	}
+	clock := 0.0
+	for sid, sr := range res.Stages {
+		st := &app.Stages[sr.StageIndex]
+		if err := emit(Event{
+			Type: EventStageSubmitted, StageID: sid, StageName: st.Name,
+			StageIndex: sr.StageIndex, RDDOps: st.Ops, RDDEdges: st.Edges,
+			NumTasks: sr.Tasks, Timestamp: clock,
+		}); err != nil {
+			return err
+		}
+		clock += sr.Seconds
+		if err := emit(Event{
+			Type: EventStageCompleted, StageID: sid, StageName: st.Name,
+			StageIndex: sr.StageIndex, NumTasks: sr.Tasks,
+			InputMB: sr.InputMB, ShuffleMB: sr.ShuffleMB,
+			DurationSec: sr.Seconds, Timestamp: clock,
+		}); err != nil {
+			return err
+		}
+	}
+	if err := emit(Event{
+		Type: EventApplicationEnd, Failed: res.Failed,
+		FailReason: res.FailReason, TotalSec: res.Seconds, Timestamp: clock,
+	}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ParsedLog is the per-stage view reconstructed from an event log.
+type ParsedLog struct {
+	AppName string
+	Config  map[string]string
+	Stages  []ParsedStage
+	Failed  bool
+	Reason  string
+	Total   float64
+}
+
+// ParsedStage is one completed stage from the log.
+type ParsedStage struct {
+	StageID    int
+	StageIndex int
+	Name       string
+	Ops        []string
+	Edges      [][2]int
+	Tasks      int
+	InputMB    float64
+	ShuffleMB  float64
+	Seconds    float64
+}
+
+// ParseEventLog reconstructs the stage-level view from an event log.
+// Submitted stages without a completion event (failed runs) are dropped,
+// matching how the history server treats incomplete stages.
+func ParseEventLog(r io.Reader) (*ParsedLog, error) {
+	out := &ParsedLog{}
+	pending := map[int]*ParsedStage{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("sparksim: event log line %d: %w", line, err)
+		}
+		switch e.Type {
+		case EventApplicationStart:
+			out.AppName = e.AppName
+		case EventEnvironmentUpdate:
+			out.Config = e.Config
+		case EventStageSubmitted:
+			pending[e.StageID] = &ParsedStage{
+				StageID: e.StageID, StageIndex: e.StageIndex, Name: e.StageName,
+				Ops: e.RDDOps, Edges: e.RDDEdges, Tasks: e.NumTasks,
+			}
+		case EventStageCompleted:
+			ps := pending[e.StageID]
+			if ps == nil {
+				ps = &ParsedStage{StageID: e.StageID, StageIndex: e.StageIndex, Name: e.StageName}
+			}
+			ps.InputMB = e.InputMB
+			ps.ShuffleMB = e.ShuffleMB
+			ps.Seconds = e.DurationSec
+			if ps.Tasks == 0 {
+				ps.Tasks = e.NumTasks
+			}
+			out.Stages = append(out.Stages, *ps)
+			delete(pending, e.StageID)
+		case EventApplicationEnd:
+			out.Failed = e.Failed
+			out.Reason = e.FailReason
+			out.Total = e.TotalSec
+		default:
+			return nil, fmt.Errorf("sparksim: event log line %d: unknown event %q", line, e.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package sparksim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEventLogRoundTrip(t *testing.T) {
+	app := testApp()
+	data := app.MakeData(100)
+	cfg := DefaultConfig()
+	res := Simulate(app, data, ClusterB, cfg)
+
+	var buf bytes.Buffer
+	if err := WriteEventLog(&buf, app, data, ClusterB, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseEventLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.AppName != app.Name {
+		t.Fatalf("app name %q", parsed.AppName)
+	}
+	if len(parsed.Stages) != len(res.Stages) {
+		t.Fatalf("parsed %d stages, want %d", len(parsed.Stages), len(res.Stages))
+	}
+	for i, ps := range parsed.Stages {
+		sr := res.Stages[i]
+		if math.Abs(ps.Seconds-sr.Seconds) > 1e-9 {
+			t.Fatalf("stage %d duration %v, want %v", i, ps.Seconds, sr.Seconds)
+		}
+		if ps.StageIndex != sr.StageIndex || ps.Tasks != sr.Tasks {
+			t.Fatalf("stage %d metadata mismatch", i)
+		}
+		if len(ps.Ops) == 0 {
+			t.Fatalf("stage %d lost DAG ops", i)
+		}
+	}
+	if math.Abs(parsed.Total-res.Seconds) > 1e-9 {
+		t.Fatalf("total %v, want %v", parsed.Total, res.Seconds)
+	}
+	if parsed.Failed != res.Failed {
+		t.Fatal("failure flag lost")
+	}
+	// Environment update must carry every knob.
+	if len(parsed.Config) != NumKnobs {
+		t.Fatalf("parsed %d knobs, want %d", len(parsed.Config), NumKnobs)
+	}
+	if _, ok := parsed.Config["spark.executor.memory"]; !ok {
+		t.Fatal("knob names lost")
+	}
+}
+
+func TestEventLogFailedRun(t *testing.T) {
+	app := testApp()
+	cfg := DefaultConfig()
+	cfg[KnobExecutorMemory] = 32 // cannot fit on cluster C
+	res := Simulate(app, app.MakeData(100), ClusterC, cfg)
+	if !res.Failed {
+		t.Fatal("setup: expected failure")
+	}
+	var buf bytes.Buffer
+	if err := WriteEventLog(&buf, app, app.MakeData(100), ClusterC, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseEventLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Failed || parsed.Reason == "" {
+		t.Fatal("failure information lost")
+	}
+	if len(parsed.Stages) != 0 {
+		t.Fatal("failed allocation should have no completed stages")
+	}
+}
+
+func TestParseEventLogRejectsGarbage(t *testing.T) {
+	if _, err := ParseEventLog(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ParseEventLog(strings.NewReader(`{"Event":"Bogus"}` + "\n")); err == nil {
+		t.Fatal("expected unknown-event error")
+	}
+}
+
+func TestParseEventLogEmpty(t *testing.T) {
+	parsed, err := ParseEventLog(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Stages) != 0 {
+		t.Fatal("empty log should have no stages")
+	}
+}
+
+func TestEventLogIsLineDelimitedJSON(t *testing.T) {
+	app := testApp()
+	data := app.MakeData(50)
+	res := Simulate(app, data, ClusterA, DefaultConfig())
+	var buf bytes.Buffer
+	if err := WriteEventLog(&buf, app, data, ClusterA, DefaultConfig(), res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// start + env + 2 per stage + end.
+	want := 2 + 2*len(res.Stages) + 1
+	if len(lines) != want {
+		t.Fatalf("log has %d lines, want %d", len(lines), want)
+	}
+	for i, l := range lines {
+		if !strings.HasPrefix(l, `{"Event":"SparkListener`) {
+			t.Fatalf("line %d does not look like a Spark event: %s", i, l)
+		}
+	}
+}

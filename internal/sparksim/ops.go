@@ -1,0 +1,83 @@
+package sparksim
+
+// Op describes an atomic RDD operation — the label on a node of the
+// stage-level DAG scheduler (paper §III-B Step 3). Each operation carries a
+// cost signature the simulator aggregates into the stage cost profile, so
+// that the same signal NECS learns from (tokens and DAG node labels)
+// actually drives execution time.
+type Op struct {
+	Name string
+	// CPU is the relative compute cost per MB processed.
+	CPU float64
+	// ShuffleWrite is the fraction of stage input written as map output.
+	ShuffleWrite float64
+	// MemExpand is the in-memory expansion factor contribution (records
+	// deserialized, hash tables built, ...).
+	MemExpand float64
+	// Caches marks operations that persist an RDD into storage memory.
+	Caches bool
+	// Collects marks operations that return data to the driver.
+	Collects bool
+}
+
+// OpCatalog maps operation names to their cost signatures. The set covers
+// the org/apache/spark/rdd, mllib and graphx operations the paper's
+// instrumentation agent monitors.
+var OpCatalog = map[string]Op{
+	"textFile":               {Name: "textFile", CPU: 0.4, MemExpand: 0.3},
+	"hadoopRDD":              {Name: "hadoopRDD", CPU: 0.4, MemExpand: 0.3},
+	"parallelize":            {Name: "parallelize", CPU: 0.2, MemExpand: 0.2},
+	"map":                    {Name: "map", CPU: 0.6, MemExpand: 0.4},
+	"mapValues":              {Name: "mapValues", CPU: 0.5, MemExpand: 0.3},
+	"mapPartitions":          {Name: "mapPartitions", CPU: 0.7, MemExpand: 0.5},
+	"flatMap":                {Name: "flatMap", CPU: 0.8, MemExpand: 0.9},
+	"filter":                 {Name: "filter", CPU: 0.3, MemExpand: 0.1},
+	"distinct":               {Name: "distinct", CPU: 0.9, ShuffleWrite: 0.7, MemExpand: 0.8},
+	"sample":                 {Name: "sample", CPU: 0.25, MemExpand: 0.1},
+	"union":                  {Name: "union", CPU: 0.15, MemExpand: 0.2},
+	"zipPartitions":          {Name: "zipPartitions", CPU: 0.5, MemExpand: 0.6},
+	"zipWithIndex":           {Name: "zipWithIndex", CPU: 0.3, MemExpand: 0.2},
+	"reduceByKey":            {Name: "reduceByKey", CPU: 1.0, ShuffleWrite: 0.5, MemExpand: 0.9},
+	"aggregateByKey":         {Name: "aggregateByKey", CPU: 1.0, ShuffleWrite: 0.5, MemExpand: 0.9},
+	"groupByKey":             {Name: "groupByKey", CPU: 0.8, ShuffleWrite: 1.0, MemExpand: 1.6},
+	"sortByKey":              {Name: "sortByKey", CPU: 1.3, ShuffleWrite: 1.0, MemExpand: 1.2},
+	"repartition":            {Name: "repartition", CPU: 0.3, ShuffleWrite: 1.0, MemExpand: 0.5},
+	"partitionBy":            {Name: "partitionBy", CPU: 0.3, ShuffleWrite: 1.0, MemExpand: 0.5},
+	"coalesce":               {Name: "coalesce", CPU: 0.2, MemExpand: 0.2},
+	"join":                   {Name: "join", CPU: 1.1, ShuffleWrite: 0.8, MemExpand: 1.4},
+	"leftOuterJoin":          {Name: "leftOuterJoin", CPU: 1.1, ShuffleWrite: 0.8, MemExpand: 1.4},
+	"cogroup":                {Name: "cogroup", CPU: 1.2, ShuffleWrite: 0.9, MemExpand: 1.7},
+	"aggregate":              {Name: "aggregate", CPU: 0.9, MemExpand: 0.6, Collects: true},
+	"treeAggregate":          {Name: "treeAggregate", CPU: 0.9, ShuffleWrite: 0.15, MemExpand: 0.6, Collects: true},
+	"reduce":                 {Name: "reduce", CPU: 0.7, MemExpand: 0.3, Collects: true},
+	"count":                  {Name: "count", CPU: 0.3, Collects: true},
+	"collect":                {Name: "collect", CPU: 0.4, MemExpand: 0.3, Collects: true},
+	"take":                   {Name: "take", CPU: 0.1, Collects: true},
+	"saveAsTextFile":         {Name: "saveAsTextFile", CPU: 0.5, MemExpand: 0.2},
+	"cache":                  {Name: "cache", CPU: 0.15, MemExpand: 0.8, Caches: true},
+	"persist":                {Name: "persist", CPU: 0.15, MemExpand: 0.8, Caches: true},
+	"broadcast":              {Name: "broadcast", CPU: 0.2, MemExpand: 0.3},
+	"mapPartitionsWithIndex": {Name: "mapPartitionsWithIndex", CPU: 0.7, MemExpand: 0.5},
+	"foreachPartition":       {Name: "foreachPartition", CPU: 0.5, MemExpand: 0.2},
+	"keyBy":                  {Name: "keyBy", CPU: 0.3, MemExpand: 0.3},
+	"lookup":                 {Name: "lookup", CPU: 0.4, Collects: true},
+	"glom":                   {Name: "glom", CPU: 0.2, MemExpand: 0.6},
+	"checkpoint":             {Name: "checkpoint", CPU: 0.3, MemExpand: 0.1},
+	"mapToPair":              {Name: "mapToPair", CPU: 0.6, MemExpand: 0.4},
+}
+
+// OpNames returns the catalog keys in sorted order; the feature package
+// uses this as the DAG node-label vocabulary (S atomic operations).
+func OpNames() []string {
+	names := make([]string, 0, len(OpCatalog))
+	for n := range OpCatalog {
+		names = append(names, n)
+	}
+	// Deterministic order without importing sort in callers.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

@@ -1,0 +1,380 @@
+package sparksim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testApp returns a small two-stage application for simulator tests.
+func testApp() *AppSpec {
+	return &AppSpec{
+		Name:   "TestApp",
+		Abbrev: "TA",
+		Family: "mapreduce",
+		MainCode: `val x = sc.textFile(in).map(f).reduceByKey(_+_)
+x.saveAsTextFile(out)`,
+		Stages: []StageSpec{
+			{
+				Name: "read", Ops: []string{"textFile", "map"},
+				Edges: [][2]int{{0, 1}}, Code: "val x = sc.textFile(in).map(f)",
+				InputFrac: 1.0,
+			},
+			{
+				Name: "reduce", Ops: []string{"reduceByKey", "saveAsTextFile"},
+				Edges: [][2]int{{0, 1}}, Code: "x.reduceByKey(_+_).saveAsTextFile(out)",
+				InputFrac: 0.8, ShuffleReadFrac: 0.5,
+			},
+		},
+		DefaultIterations: 1,
+		RowBytes:          100,
+		Columns:           2,
+		SkewFactor:        1.2,
+	}
+}
+
+func iterApp() *AppSpec {
+	a := testApp()
+	a.Stages = append(a.Stages, StageSpec{
+		Name: "iter", Ops: []string{"map", "treeAggregate"},
+		Edges: [][2]int{{0, 1}}, Code: "data.map(g).treeAggregate(z)(s, c)",
+		InputFrac: 0.9, Iterated: true, ReadsCache: true, OutputFrac: 0.0001,
+	})
+	a.Stages[0].Ops = append(a.Stages[0].Ops, "cache")
+	a.DefaultIterations = 5
+	return a
+}
+
+func TestDefaultConfigWithinBounds(t *testing.T) {
+	c := DefaultConfig()
+	for i, k := range Knobs {
+		if c[i] < k.Min || c[i] > k.Max {
+			t.Fatalf("default %s = %v outside [%v,%v]", k.Name, c[i], k.Min, k.Max)
+		}
+	}
+}
+
+func TestClampRoundsAndBounds(t *testing.T) {
+	var c Config
+	for i := range c {
+		c[i] = 1e9
+	}
+	c = c.Clamp()
+	for i, k := range Knobs {
+		if c[i] != k.Max {
+			t.Fatalf("clamp high failed for %s: %v", k.Name, c[i])
+		}
+	}
+	for i := range c {
+		c[i] = -1e9
+	}
+	c = c.Clamp()
+	for i, k := range Knobs {
+		if c[i] != k.Min {
+			t.Fatalf("clamp low failed for %s: %v", k.Name, c[i])
+		}
+	}
+	c[KnobExecutorCores] = 3.7
+	c = c.Clamp()
+	if c[KnobExecutorCores] != 4 {
+		t.Fatalf("int knob not rounded: %v", c[KnobExecutorCores])
+	}
+	c[KnobShuffleCompress] = 0.7
+	c = c.Clamp()
+	if c[KnobShuffleCompress] != 1 {
+		t.Fatalf("bool knob not snapped: %v", c[KnobShuffleCompress])
+	}
+}
+
+func TestNormalizedRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomConfig(rng)
+		back := FromNormalized(c.Normalized())
+		for i := range c {
+			if math.Abs(back[i]-c[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomConfigAlwaysLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		c := RandomConfig(rng)
+		for j, k := range Knobs {
+			if c[j] < k.Min || c[j] > k.Max {
+				t.Fatalf("random config knob %s out of bounds: %v", k.Name, c[j])
+			}
+			if k.Type != KnobFloat && c[j] != math.Round(c[j]) {
+				t.Fatalf("discrete knob %s not integral: %v", k.Name, c[j])
+			}
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	app := testApp()
+	d := app.MakeData(100)
+	cfg := DefaultConfig()
+	r1 := Simulate(app, d, ClusterA, cfg)
+	r2 := Simulate(app, d, ClusterA, cfg)
+	if r1.Seconds != r2.Seconds {
+		t.Fatalf("simulation not deterministic: %v vs %v", r1.Seconds, r2.Seconds)
+	}
+	if len(r1.Stages) != len(r2.Stages) {
+		t.Fatal("stage counts differ")
+	}
+}
+
+func TestStageTimesSumToTotal(t *testing.T) {
+	app := iterApp()
+	d := app.MakeData(100)
+	r := Simulate(app, d, ClusterB, DefaultConfig())
+	var sum float64
+	for _, s := range r.Stages {
+		sum += s.Seconds
+	}
+	if math.Abs(sum-r.Seconds) > 1e-9 {
+		t.Fatalf("stage sum %v != total %v", sum, r.Seconds)
+	}
+}
+
+func TestIteratedStagesRepeat(t *testing.T) {
+	app := iterApp()
+	d := app.MakeData(100)
+	d.Iterations = 7
+	r := Simulate(app, d, ClusterA, DefaultConfig())
+	// 2 non-iterated + 7 iterated instances.
+	if len(r.Stages) != 2+7 {
+		t.Fatalf("expected 9 stage instances, got %d", len(r.Stages))
+	}
+}
+
+func TestMoreDataTakesLonger(t *testing.T) {
+	app := testApp()
+	cfg := DefaultConfig()
+	small := Simulate(app, app.MakeData(50), ClusterA, cfg)
+	big := Simulate(app, app.MakeData(500), ClusterA, cfg)
+	if big.Seconds <= small.Seconds {
+		t.Fatalf("10x data not slower: %v vs %v", big.Seconds, small.Seconds)
+	}
+}
+
+func TestMoreExecutorsHelpOnBigData(t *testing.T) {
+	app := testApp()
+	d := app.MakeData(2000)
+	few := DefaultConfig()
+	few[KnobExecutorInstances] = 1
+	many := DefaultConfig()
+	many[KnobExecutorInstances] = 16
+	many[KnobDefaultParallelism] = 128
+	rFew := Simulate(app, d, ClusterB, few)
+	rMany := Simulate(app, d, ClusterB, many)
+	if rMany.Seconds >= rFew.Seconds {
+		t.Fatalf("scaling out did not help: %v vs %v", rMany.Seconds, rFew.Seconds)
+	}
+}
+
+func TestOversizedExecutorFails(t *testing.T) {
+	app := testApp()
+	cfg := DefaultConfig()
+	cfg[KnobExecutorMemory] = 32 // cluster C nodes have 16 GB
+	r := Simulate(app, app.MakeData(100), ClusterC, cfg)
+	if !r.Failed {
+		t.Fatal("expected allocation failure for 32GB executor on 16GB node")
+	}
+	if r.Seconds != FailCap {
+		t.Fatalf("failed run should record FailCap, got %v", r.Seconds)
+	}
+}
+
+func TestTinyMemoryOOMsOnBigData(t *testing.T) {
+	app := testApp()
+	cfg := DefaultConfig()
+	cfg[KnobExecutorMemory] = 1
+	cfg[KnobExecutorCores] = 16 // 16 tasks sharing 1GB heap
+	cfg[KnobDefaultParallelism] = 8
+	cfg[KnobExecutorInstances] = 1
+	r := Simulate(app, app.MakeData(20000), ClusterA, cfg)
+	if !r.Failed {
+		t.Fatalf("expected OOM, got %v s", r.Seconds)
+	}
+}
+
+func TestDriverResultSizeLimit(t *testing.T) {
+	app := testApp()
+	app.Stages[1].Ops = append(app.Stages[1].Ops, "collect")
+	app.Stages[1].OutputFrac = 0.8
+	cfg := DefaultConfig()
+	cfg[KnobDriverMaxResultSize] = 256
+	r := Simulate(app, app.MakeData(5000), ClusterB, cfg)
+	if !r.Failed {
+		t.Fatal("expected maxResultSize failure")
+	}
+}
+
+func TestCacheHitImprovesIterativeApp(t *testing.T) {
+	app := iterApp()
+	d := app.MakeData(4000)
+	d.Iterations = 10
+	noCache := DefaultConfig()
+	noCache[KnobExecutorMemory] = 2
+	noCache[KnobExecutorInstances] = 2
+	noCache[KnobMemoryStorageFraction] = 0.1
+	withCache := noCache
+	withCache[KnobMemoryStorageFraction] = 0.6
+	rNo := Simulate(app, d, ClusterB, noCache)
+	rYes := Simulate(app, d, ClusterB, withCache)
+	if rYes.CacheHitRatio <= rNo.CacheHitRatio {
+		t.Fatalf("larger storage fraction should raise hit ratio: %v vs %v", rYes.CacheHitRatio, rNo.CacheHitRatio)
+	}
+	if rYes.Seconds >= rNo.Seconds {
+		t.Fatalf("better caching should speed up iterative app: %v vs %v", rYes.Seconds, rNo.Seconds)
+	}
+}
+
+func TestShuffleCompressionTradeoff(t *testing.T) {
+	// On a slow network (cluster C), compression should help a
+	// shuffle-heavy stage.
+	app := testApp()
+	app.Stages[1].ShuffleReadFrac = 1.0
+	d := app.MakeData(4000)
+	on := DefaultConfig()
+	on[KnobExecutorInstances] = 16
+	on[KnobExecutorMemory] = 4
+	on[KnobShuffleCompress] = 1
+	off := on
+	off[KnobShuffleCompress] = 0
+	rOn := Simulate(app, d, ClusterC, on)
+	rOff := Simulate(app, d, ClusterC, off)
+	if rOn.Seconds >= rOff.Seconds {
+		t.Fatalf("compression should win on 1Gbps network: %v vs %v", rOn.Seconds, rOff.Seconds)
+	}
+}
+
+func TestMetricsShape(t *testing.T) {
+	app := testApp()
+	r := Simulate(app, app.MakeData(100), ClusterA, DefaultConfig())
+	m := r.Metrics()
+	if len(m) != MetricsLen {
+		t.Fatalf("metrics length %d, want %d", len(m), MetricsLen)
+	}
+	for i, v := range m {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("metric %d is %v", i, v)
+		}
+	}
+}
+
+func TestExpandedStagesOrder(t *testing.T) {
+	app := iterApp()
+	d := app.MakeData(10)
+	d.Iterations = 3
+	seq := app.ExpandedStages(d)
+	want := []int{0, 1, 2, 2, 2}
+	if len(seq) != len(want) {
+		t.Fatalf("sequence %v", seq)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("sequence %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestEnvironmentFeatures(t *testing.T) {
+	for _, e := range AllClusters {
+		f := e.Features()
+		if len(f) != 6 {
+			t.Fatalf("cluster %s: %d env features, want 6", e.Name, len(f))
+		}
+		for i, v := range f {
+			if v <= 0 || v > 1.5 {
+				t.Fatalf("cluster %s feature %d out of range: %v", e.Name, i, v)
+			}
+		}
+	}
+	if ClusterC.TotalCores() != 128 {
+		t.Fatalf("cluster C cores = %d", ClusterC.TotalCores())
+	}
+}
+
+func TestDataFeatures(t *testing.T) {
+	app := testApp()
+	d := app.MakeData(100)
+	f := d.Features()
+	if len(f) != 4 {
+		t.Fatalf("data features len %d", len(f))
+	}
+	// Optional entries are zero when absent (paper Table I).
+	d2 := d
+	d2.Iterations = 0
+	d2.Partitions = 0
+	f2 := d2.Features()
+	if f2[2] != 0 || f2[3] != 0 {
+		t.Fatalf("optional entries should be zero: %v", f2)
+	}
+}
+
+func TestOpCatalogConsistency(t *testing.T) {
+	names := OpNames()
+	if len(names) != len(OpCatalog) {
+		t.Fatalf("OpNames length mismatch")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("OpNames not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+	for name, op := range OpCatalog {
+		if op.Name != name {
+			t.Fatalf("op %q has mismatched Name %q", name, op.Name)
+		}
+		if op.CPU < 0 || op.ShuffleWrite < 0 || op.MemExpand < 0 {
+			t.Fatalf("op %q has negative cost", name)
+		}
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		v := jitter("app", "A", i, i, RandomConfig(rng), 100)
+		if v < -1 || v > 1 {
+			t.Fatalf("jitter out of range: %v", v)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := DefaultConfig().String()
+	if len(s) == 0 {
+		t.Fatal("empty config string")
+	}
+}
+
+// TestSimulationTotalsPositiveProperty: any legal configuration yields a
+// positive finite time or an explicit failure at FailCap.
+func TestSimulationTotalsPositiveProperty(t *testing.T) {
+	app := iterApp()
+	d := app.MakeData(200)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := RandomConfig(rng)
+		r := Simulate(app, d, ClusterC, cfg)
+		if r.Failed {
+			return r.Seconds == FailCap && r.FailReason != ""
+		}
+		return r.Seconds > 0 && !math.IsNaN(r.Seconds) && !math.IsInf(r.Seconds, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

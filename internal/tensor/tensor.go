@@ -1,0 +1,375 @@
+// Package tensor provides dense float64 matrices and vectors with the
+// linear-algebra primitives required by the neural-network stack in
+// internal/nn. Tensors are rank-1 or rank-2, stored row-major.
+//
+// The package is deliberately small: it implements exactly the operations
+// the LITE models need (matmul, broadcast arithmetic, reductions,
+// convolution helpers) with no external dependencies.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Tensor is a dense row-major matrix. A vector is represented as a 1×n or
+// n×1 matrix depending on context; most code in this repository uses
+// row-vectors (1×n).
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero-initialized tensor with the given shape.
+func New(rows, cols int) *Tensor {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) in a rows×cols tensor.
+func FromSlice(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %dx%d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRow returns a 1×n tensor copying the given values.
+func FromRow(vals []float64) *Tensor {
+	t := New(1, len(vals))
+	copy(t.Data, vals)
+	return t
+}
+
+// Randn returns a tensor with entries drawn from N(0, std²) using rng.
+func Randn(rows, cols int, std float64, rng *rand.Rand) *Tensor {
+	t := New(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// XavierUniform returns a tensor initialized with the Glorot/Xavier uniform
+// scheme, appropriate for layers followed by ReLU or tanh.
+func XavierUniform(rows, cols int, rng *rand.Rand) *Tensor {
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	t := New(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return t
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Rows, t.Cols)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// At returns the element at row i, column j.
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return t.Rows * t.Cols }
+
+// SameShape reports whether t and o have identical dimensions.
+func (t *Tensor) SameShape(o *Tensor) bool { return t.Rows == o.Rows && t.Cols == o.Cols }
+
+// Zero sets every element to 0 in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Row returns row i as a freshly allocated slice.
+func (t *Tensor) Row(i int) []float64 {
+	out := make([]float64, t.Cols)
+	copy(out, t.Data[i*t.Cols:(i+1)*t.Cols])
+	return out
+}
+
+// RowView returns row i as a view into the underlying data.
+func (t *Tensor) RowView(i int) []float64 { return t.Data[i*t.Cols : (i+1)*t.Cols] }
+
+// MatMul computes a×b into a new tensor. Panics on shape mismatch.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a×b, reusing out's storage. out must already
+// have shape a.Rows×b.Cols and must not alias a or b.
+func MatMulInto(out, a, b *Tensor) {
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic("tensor: matmul output shape mismatch")
+	}
+	out.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes aᵀ×b into a new tensor.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulTransA shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB computes a×bᵀ into a new tensor.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulTransB shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns tᵀ as a new tensor.
+func (t *Tensor) Transpose() *Tensor {
+	out := New(t.Cols, t.Rows)
+	for i := 0; i < t.Rows; i++ {
+		for j := 0; j < t.Cols; j++ {
+			out.Data[j*out.Cols+i] = t.Data[i*t.Cols+j]
+		}
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	mustSameShape("add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace computes a += b elementwise.
+func AddInPlace(a, b *Tensor) {
+	mustSameShape("add", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// AddScaledInPlace computes a += s·b elementwise.
+func AddScaledInPlace(a *Tensor, s float64, b *Tensor) {
+	mustSameShape("addScaled", a, b)
+	for i := range a.Data {
+		a.Data[i] += s * b.Data[i]
+	}
+}
+
+// Sub returns a−b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	mustSameShape("sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns a⊙b (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	mustSameShape("mul", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s·t as a new tensor.
+func Scale(t *Tensor, s float64) *Tensor {
+	out := New(t.Rows, t.Cols)
+	for i := range t.Data {
+		out.Data[i] = s * t.Data[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AddRowBroadcast returns m with the 1×cols row vector v added to every row.
+func AddRowBroadcast(m, v *Tensor) *Tensor {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: broadcast shape mismatch %dx%d + %dx%d", m.Rows, m.Cols, v.Rows, v.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[i*m.Cols+j] = m.Data[i*m.Cols+j] + v.Data[j]
+		}
+	}
+	return out
+}
+
+// Apply returns f applied elementwise.
+func Apply(t *Tensor, f func(float64) float64) *Tensor {
+	out := New(t.Rows, t.Cols)
+	for i, v := range t.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum over all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean over all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(t.Size()) }
+
+// Max returns the maximum element and its flat index.
+func (t *Tensor) Max() (float64, int) {
+	best, idx := math.Inf(-1), -1
+	for i, v := range t.Data {
+		if v > best {
+			best, idx = v, i
+		}
+	}
+	return best, idx
+}
+
+// ColMax writes, for each column j, the maximum over rows into a 1×cols
+// tensor and returns both the maxima and the argmax row per column.
+func (t *Tensor) ColMax() (*Tensor, []int) {
+	out := New(1, t.Cols)
+	arg := make([]int, t.Cols)
+	for j := 0; j < t.Cols; j++ {
+		best, bi := math.Inf(-1), 0
+		for i := 0; i < t.Rows; i++ {
+			if v := t.Data[i*t.Cols+j]; v > best {
+				best, bi = v, i
+			}
+		}
+		out.Data[j] = best
+		arg[j] = bi
+	}
+	return out, arg
+}
+
+// Norm returns the Frobenius norm.
+func (t *Tensor) Norm() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Concat concatenates row vectors (all 1×n_i) into a single 1×Σn row vector.
+func Concat(parts ...*Tensor) *Tensor {
+	total := 0
+	for _, p := range parts {
+		if p.Rows != 1 {
+			panic("tensor: Concat expects 1×n row vectors")
+		}
+		total += p.Cols
+	}
+	out := New(1, total)
+	off := 0
+	for _, p := range parts {
+		copy(out.Data[off:off+p.Cols], p.Data)
+		off += p.Cols
+	}
+	return out
+}
+
+// String renders the tensor for debugging.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor(%dx%d)[", t.Rows, t.Cols)
+	n := t.Size()
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4g", t.Data[i])
+	}
+	if t.Size() > 8 {
+		b.WriteString(", …")
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+func mustSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

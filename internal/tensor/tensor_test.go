@@ -1,0 +1,278 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || m.Size() != 6 {
+		t.Fatalf("unexpected shape %dx%d", m.Rows, m.Cols)
+	}
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("At after Set = %v", m.At(1, 2))
+	}
+	if m.Data[5] != 7.5 {
+		t.Fatalf("row-major layout violated")
+	}
+}
+
+func TestNewPanicsOnInvalidShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero rows")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestFromSliceValidatesLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestMatMulKnownValues(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if !almostEq(c.Data[i], w) {
+			t.Fatalf("matmul[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulTransAMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(4, 3, 1, rng)
+	b := Randn(4, 5, 1, rng)
+	got := MatMulTransA(a, b)
+	want := MatMul(a.Transpose(), b)
+	for i := range want.Data {
+		if !almostEq(got.Data[i], want.Data[i]) {
+			t.Fatalf("MatMulTransA mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulTransBMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Randn(4, 3, 1, rng)
+	b := Randn(5, 3, 1, rng)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, b.Transpose())
+	for i := range want.Data {
+		if !almostEq(got.Data[i], want.Data[i]) {
+			t.Fatalf("MatMulTransB mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(6)
+		cols := 1 + rng.Intn(6)
+		m := Randn(rows, cols, 1, rng)
+		tt := m.Transpose().Transpose()
+		if !m.SameShape(tt) {
+			return false
+		}
+		for i := range m.Data {
+			if m.Data[i] != tt.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubMulInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Randn(3, 3, 1, rng)
+		b := Randn(3, 3, 1, rng)
+		c := Sub(Add(a, b), b)
+		for i := range a.Data {
+			if math.Abs(c.Data[i]-a.Data[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulDistributesOverAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Randn(3, 4, 1, rng)
+		b := Randn(4, 2, 1, rng)
+		c := Randn(4, 2, 1, rng)
+		left := MatMul(a, Add(b, c))
+		right := Add(MatMul(a, b), MatMul(a, c))
+		for i := range left.Data {
+			if math.Abs(left.Data[i]-right.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRowBroadcast(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	v := FromRow([]float64{10, 20})
+	out := AddRowBroadcast(m, v)
+	want := []float64{11, 22, 13, 24}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("broadcast[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestScaleAndInPlaceOps(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1, -2, 3})
+	s := Scale(m, 2)
+	if s.Data[0] != 2 || s.Data[1] != -4 || s.Data[2] != 6 {
+		t.Fatalf("Scale wrong: %v", s.Data)
+	}
+	m.ScaleInPlace(0)
+	if m.Sum() != 0 {
+		t.Fatalf("ScaleInPlace(0) should zero")
+	}
+	a := FromRow([]float64{1, 1})
+	AddScaledInPlace(a, 3, FromRow([]float64{2, 4}))
+	if a.Data[0] != 7 || a.Data[1] != 13 {
+		t.Fatalf("AddScaledInPlace wrong: %v", a.Data)
+	}
+}
+
+func TestSumMeanMaxNorm(t *testing.T) {
+	m := FromSlice(2, 2, []float64{3, -1, 4, 0})
+	if m.Sum() != 6 {
+		t.Fatalf("Sum = %v", m.Sum())
+	}
+	if m.Mean() != 1.5 {
+		t.Fatalf("Mean = %v", m.Mean())
+	}
+	max, idx := m.Max()
+	if max != 4 || idx != 2 {
+		t.Fatalf("Max = %v @ %d", max, idx)
+	}
+	if !almostEq(m.Norm(), math.Sqrt(9+1+16)) {
+		t.Fatalf("Norm = %v", m.Norm())
+	}
+}
+
+func TestColMax(t *testing.T) {
+	m := FromSlice(3, 2, []float64{1, 9, 5, 2, 3, 7})
+	maxes, args := m.ColMax()
+	if maxes.Data[0] != 5 || maxes.Data[1] != 9 {
+		t.Fatalf("ColMax values wrong: %v", maxes.Data)
+	}
+	if args[0] != 1 || args[1] != 0 {
+		t.Fatalf("ColMax argmax wrong: %v", args)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromRow([]float64{1, 2})
+	b := FromRow([]float64{3})
+	c := Concat(a, b)
+	if c.Cols != 3 || c.Data[2] != 3 {
+		t.Fatalf("Concat wrong: %v", c.Data)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromRow([]float64{1, 2})
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestRowAndRowView(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 3 {
+		t.Fatal("Row should copy")
+	}
+	rv := m.RowView(1)
+	rv[0] = 99
+	if m.At(1, 0) != 99 {
+		t.Fatal("RowView should alias")
+	}
+}
+
+func TestXavierUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := XavierUniform(10, 10, rng)
+	limit := math.Sqrt(6.0 / 20.0)
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("xavier value %v outside ±%v", v, limit)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := FromRow([]float64{-1, 2})
+	out := Apply(m, math.Abs)
+	if out.Data[0] != 1 || out.Data[1] != 2 {
+		t.Fatalf("Apply wrong: %v", out.Data)
+	}
+}
+
+func TestMatMulIntoReuse(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 0, 0, 1})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	out := New(2, 2)
+	out.Fill(42) // must be overwritten
+	MatMulInto(out, a, b)
+	for i := range b.Data {
+		if out.Data[i] != b.Data[i] {
+			t.Fatalf("identity matmul wrong at %d", i)
+		}
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	m := New(3, 4)
+	s := m.String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,302 @@
+package workload
+
+// Graph applications of Table V: PageRank, TriangleCount, Strongly-
+// ConnectedComponent, ShortestPath, LabelPropagation and PregelOperation.
+// These are shuffle-dominated with long iterative tails — the family where
+// parallelism, compression and reducer knobs matter most and where key skew
+// (power-law degree distributions) inflates stragglers.
+
+func init() {
+	registerPageRank()
+	registerTriangleCount()
+	registerSCC()
+	registerShortestPath()
+	registerLabelPropagation()
+	registerPregelOperation()
+}
+
+func registerPageRank() {
+	build("PageRank", "PR", "graph", `
+val links = sc.textFile(inputPath).map(parsePair).distinct().groupByKey().cache()
+var ranks = links.mapValues(v => 1.0)
+for (i <- 1 to iters) {
+  val contribs = links.join(ranks).values.flatMap { case (urls, rank) => urls.map(url => (url, rank / urls.size)) }
+  ranks = contribs.reduceByKey(_ + _).mapValues(0.15 + 0.85 * _)
+}
+`, 24, 2, 12, 1.5, true, graphSizes(),
+		stage{
+			name: "buildAdjacency", ops: []string{"textFile", "map", "distinct", "groupByKey", "cache"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val lines = sc.textFile(inputPath)`,
+				`val pairs = lines.map { s => val parts = s.split("\\s+"); (parts(0), parts(1)) }`,
+				`val links = pairs.distinct().groupByKey().cache()`,
+				`var ranks = links.mapValues(v => 1.0)`,
+			},
+		},
+		stage{
+			name: "contributions", ops: []string{"join", "flatMap", "mapValues"},
+			inputFrac: 0.9, shuffleIn: 0.7, iterated: true, readsCache: true,
+			lines: []string{
+				`val contribs = links.join(ranks).values.flatMap { case (urls, rank) =>`,
+				`  val size = urls.size`,
+				`  urls.map(url => (url, rank / size)) }`,
+			},
+		},
+		stage{
+			name: "rankUpdate", ops: []string{"reduceByKey", "mapValues"},
+			inputFrac: 0.8, shuffleIn: 0.8, iterated: true,
+			lines: []string{
+				`ranks = contribs.reduceByKey(_ + _).mapValues(sum => 0.15 + 0.85 * sum)`,
+			},
+		},
+		stage{
+			name: "topRanks", ops: []string{"map", "sortByKey", "take"},
+			inputFrac: 0.5, shuffleIn: 0.5, outputFrac: 0.0005,
+			lines: []string{
+				`val output = ranks.map { case (url, rank) => (rank, url) }.sortByKey(ascending = false)`,
+				`output.take(20).foreach { case (rank, url) => println(s"$url has rank $rank") }`,
+			},
+		},
+	)
+}
+
+func registerTriangleCount() {
+	build("TriangleCount", "TC", "graph", `
+val graph = GraphLoader.edgeListFile(sc, inputPath, canonicalOrientation = true)
+  .partitionBy(PartitionStrategy.RandomVertexCut)
+val triCounts = graph.triangleCount().vertices
+`, 20, 2, 1, 1.7, true, graphSizes(),
+		stage{
+			name: "loadCanonicalEdges", ops: []string{"textFile", "map", "filter", "distinct", "partitionBy"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val edges = sc.textFile(inputPath).map { line =>`,
+				`  val fields = line.split("\\s+")`,
+				`  if (fields(0).toLong < fields(1).toLong) Edge(fields(0).toLong, fields(1).toLong, 1)`,
+				`  else Edge(fields(1).toLong, fields(0).toLong, 1) }`,
+				`val canonical = edges.filter(e => e.srcId != e.dstId).distinct()`,
+				`val graph = Graph.fromEdges(canonical, 0).partitionBy(PartitionStrategy.RandomVertexCut)`,
+			},
+		},
+		stage{
+			name: "collectNeighborSets", ops: []string{"mapPartitions", "groupByKey", "mapValues", "cache"},
+			inputFrac: 0.95, shuffleIn: 0.9,
+			lines: []string{
+				`val nbrSets: VertexRDD[VertexSet] = graph.aggregateMessages[VertexSet](ctx => {`,
+				`  ctx.sendToSrc(openHashSetOf(ctx.dstId)); ctx.sendToDst(openHashSetOf(ctx.srcId))`,
+				`}, (a, b) => { b.iterator.foreach(a.add); a })`,
+				`val setGraph = graph.outerJoinVertices(nbrSets) { (vid, _, optSet) => optSet.getOrElse(emptySet) }.cache()`,
+			},
+		},
+		stage{
+			name: "countIntersections", ops: []string{"zipPartitions", "map", "reduceByKey"},
+			inputFrac: 1.2, shuffleIn: 0.8,
+			lines: []string{
+				`val counters = setGraph.aggregateMessages[Long](ctx => {`,
+				`  val (smallSet, largeSet) = if (ctx.srcAttr.size < ctx.dstAttr.size) (ctx.srcAttr, ctx.dstAttr) else (ctx.dstAttr, ctx.srcAttr)`,
+				`  var counter = 0L; val iter = smallSet.iterator`,
+				`  while (iter.hasNext) { val vid = iter.next(); if (vid != ctx.srcId && vid != ctx.dstId && largeSet.contains(vid)) counter += 1 }`,
+				`  ctx.sendToSrc(counter); ctx.sendToDst(counter) }, _ + _)`,
+			},
+		},
+		stage{
+			name: "normalizeCounts", ops: []string{"join", "mapValues", "count"},
+			inputFrac: 0.3, shuffleIn: 0.3, outputFrac: 0.0001,
+			lines: []string{
+				`val triCounts = setGraph.outerJoinVertices(counters) { (vid, _, optCounter) =>`,
+				`  optCounter.getOrElse(0L) / 2 }`,
+				`val totalTriangles = triCounts.vertices.map(_._2).reduce(_ + _) / 3`,
+			},
+		},
+	)
+}
+
+func registerSCC() {
+	build("StronglyConnectedComponent", "SCC", "graph", `
+val graph = GraphLoader.edgeListFile(sc, inputPath)
+val sccGraph = graph.stronglyConnectedComponents(numIter)
+val componentCounts = sccGraph.vertices.map(_._2).countByValue()
+`, 22, 2, 16, 1.4, true, graphSizes(),
+		stage{
+			name: "loadGraph", ops: []string{"textFile", "map", "cache"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val edges = sc.textFile(inputPath).map { line =>`,
+				`  val fields = line.split("\\s+"); Edge(fields(0).toLong, fields(1).toLong, ()) }`,
+				`var sccGraph = Graph.fromEdges(edges, -1L).mapVertices((vid, _) => vid).cache()`,
+			},
+		},
+		stage{
+			name: "trimSinksAndSources", ops: []string{"mapPartitions", "reduceByKey", "join", "filter"},
+			inputFrac: 0.7, shuffleIn: 0.5, iterated: true, readsCache: true,
+			extraEdges: [][2]int{{0, 2}},
+			lines: []string{
+				`val outDegrees = workGraph.aggregateMessages[Long](ctx => ctx.sendToSrc(1L), _ + _)`,
+				`val inDegrees = workGraph.aggregateMessages[Long](ctx => ctx.sendToDst(1L), _ + _)`,
+				`workGraph = workGraph.outerJoinVertices(outDegrees)((vid, vd, deg) => (vd, deg.getOrElse(0L)))`,
+				`  .subgraph(vpred = (vid, vd) => vd._2 > 0).mapVertices((vid, vd) => vd._1).cache()`,
+			},
+		},
+		stage{
+			name: "forwardReach", ops: []string{"join", "flatMap", "reduceByKey", "mapValues"},
+			inputFrac: 0.8, shuffleIn: 0.7, iterated: true, readsCache: true,
+			lines: []string{
+				`val fwd = Pregel(workGraph.mapVertices((vid, _) => vid), Long.MaxValue)(`,
+				`  vprog = (vid, color, msg) => math.min(color, msg),`,
+				`  sendMsg = ctx => if (ctx.srcAttr < ctx.dstAttr) Iterator((ctx.dstId, ctx.srcAttr)) else Iterator.empty,`,
+				`  mergeMsg = math.min)`,
+			},
+		},
+		stage{
+			name: "backwardReach", ops: []string{"join", "flatMap", "reduceByKey", "filter"},
+			inputFrac: 0.8, shuffleIn: 0.7, iterated: true, readsCache: true,
+			lines: []string{
+				`val bwd = Pregel(fwd.reverse, Long.MaxValue)(`,
+				`  vprog = (vid, attr, msg) => if (msg == attr._1) (attr._1, true) else attr,`,
+				`  sendMsg = ctx => if (ctx.srcAttr._2 && !ctx.dstAttr._2 && ctx.dstAttr._1 == ctx.srcAttr._1)`,
+				`    Iterator((ctx.dstId, ctx.srcAttr._1)) else Iterator.empty,`,
+				`  mergeMsg = math.min)`,
+				`sccGraph = sccGraph.outerJoinVertices(bwd.vertices)((vid, old, scc) => scc.map(_._1).getOrElse(old))`,
+			},
+		},
+		stage{
+			name: "componentHistogram", ops: []string{"map", "reduceByKey", "collect"},
+			inputFrac: 0.3, shuffleIn: 0.3, outputFrac: 0.0008,
+			lines: []string{
+				`val componentSizes = sccGraph.vertices.map { case (vid, comp) => (comp, 1L) }.reduceByKey(_ + _)`,
+				`val histogram = componentSizes.collect().sortBy(-_._2).take(100)`,
+			},
+		},
+	)
+}
+
+func registerShortestPath() {
+	build("ShortestPath", "SP", "graph", `
+val graph = GraphLoader.edgeListFile(sc, inputPath)
+val result = ShortestPaths.run(graph, landmarks)
+val distances = result.vertices.mapValues(_.toSeq.sortBy(_._1).mkString(","))
+`, 22, 2, 14, 1.3, true, graphSizes(),
+		stage{
+			name: "initLandmarks", ops: []string{"textFile", "map", "cache"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val graph = GraphLoader.edgeListFile(sc, inputPath)`,
+				`val spGraph = graph.mapVertices { (vid, _) =>`,
+				`  if (landmarks.contains(vid)) makeMap(vid -> 0) else makeMap() }.cache()`,
+			},
+		},
+		stage{
+			name: "relaxEdges", ops: []string{"join", "flatMap", "reduceByKey"},
+			inputFrac: 0.85, shuffleIn: 0.75, iterated: true, readsCache: true,
+			lines: []string{
+				`val messages = spGraph.aggregateMessages[SPMap](ctx => {`,
+				`  val newAttr = incrementMap(ctx.dstAttr)`,
+				`  if (ctx.srcAttr != addMaps(newAttr, ctx.srcAttr)) ctx.sendToSrc(newAttr)`,
+				`}, addMaps)`,
+			},
+		},
+		stage{
+			name: "updateDistances", ops: []string{"join", "mapValues"},
+			inputFrac: 0.6, shuffleIn: 0.5, iterated: true,
+			lines: []string{
+				`spGraph = spGraph.joinVertices(messages) { (vid, attr, msg) => addMaps(attr, msg) }`,
+			},
+		},
+		stage{
+			name: "emitDistances", ops: []string{"mapValues", "saveAsTextFile"},
+			inputFrac: 0.4,
+			lines: []string{
+				`val distances = spGraph.vertices.mapValues(spMap => spMap.toSeq.sortBy(_._1).mkString(","))`,
+				`distances.saveAsTextFile(outputPath)`,
+			},
+		},
+	)
+}
+
+func registerLabelPropagation() {
+	build("LabelPropagation", "LP", "graph", `
+val graph = GraphLoader.edgeListFile(sc, inputPath)
+val communities = LabelPropagation.run(graph, maxSteps)
+val sizes = communities.vertices.map(_._2).countByValue()
+`, 22, 2, 10, 1.4, true, graphSizes(),
+		stage{
+			name: "loadAndLabel", ops: []string{"textFile", "map", "cache"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val graph = GraphLoader.edgeListFile(sc, inputPath)`,
+				`var lpGraph = graph.mapVertices { case (vid, _) => vid }.cache()`,
+			},
+		},
+		stage{
+			name: "sendLabels", ops: []string{"join", "flatMap", "reduceByKey"},
+			inputFrac: 0.9, shuffleIn: 0.8, iterated: true, readsCache: true,
+			lines: []string{
+				`val messages = lpGraph.aggregateMessages[Map[VertexId, Long]](ctx => {`,
+				`  ctx.sendToSrc(Map(ctx.dstAttr -> 1L)); ctx.sendToDst(Map(ctx.srcAttr -> 1L))`,
+				`}, mergeLabelCounts)`,
+			},
+		},
+		stage{
+			name: "adoptMajorityLabel", ops: []string{"join", "mapValues"},
+			inputFrac: 0.6, shuffleIn: 0.5, iterated: true,
+			lines: []string{
+				`lpGraph = lpGraph.joinVertices(messages) { (vid, attr, message) =>`,
+				`  if (message.isEmpty) attr else message.maxBy(_._2)._1 }`,
+			},
+		},
+		stage{
+			name: "communitySizes", ops: []string{"map", "reduceByKey", "collect"},
+			inputFrac: 0.3, shuffleIn: 0.3, outputFrac: 0.0008,
+			lines: []string{
+				`val communitySizes = lpGraph.vertices.map { case (_, label) => (label, 1L) }.reduceByKey(_ + _)`,
+				`communitySizes.collect().sortBy(-_._2).take(50).foreach(println)`,
+			},
+		},
+	)
+}
+
+func registerPregelOperation() {
+	build("PregelOperation", "PO", "graph", `
+val graph = GraphLoader.edgeListFile(sc, inputPath).mapEdges(e => e.attr.toDouble)
+val sssp = initialGraph.pregel(Double.PositiveInfinity)(vprog, sendMessage, messageCombiner)
+println(sssp.vertices.collect.mkString("\n"))
+`, 22, 2, 12, 1.2, true, graphSizes(),
+		stage{
+			name: "initializeGraph", ops: []string{"textFile", "map", "mapValues", "cache"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val graph = GraphLoader.edgeListFile(sc, inputPath).mapEdges(e => e.attr.toDouble)`,
+				`val initialGraph = graph.mapVertices((id, _) => if (id == sourceId) 0.0 else Double.PositiveInfinity)`,
+				`var g = initialGraph.cache()`,
+			},
+		},
+		stage{
+			name: "computeAndSend", ops: []string{"zipPartitions", "flatMap", "reduceByKey"},
+			inputFrac: 0.85, shuffleIn: 0.75, iterated: true, readsCache: true,
+			lines: []string{
+				`val messages = g.aggregateMessages[Double](triplet => {`,
+				`  if (triplet.srcAttr + triplet.attr < triplet.dstAttr)`,
+				`    triplet.sendToDst(triplet.srcAttr + triplet.attr)`,
+				`}, (a, b) => math.min(a, b))`,
+				`activeMessages = messages.count()`,
+			},
+		},
+		stage{
+			name: "applyVertexProgram", ops: []string{"join", "mapValues", "cache"},
+			inputFrac: 0.6, shuffleIn: 0.5, iterated: true,
+			lines: []string{
+				`g = g.joinVertices(messages)((id, dist, newDist) => math.min(dist, newDist)).cache()`,
+				`prevG.unpersistVertices(blocking = false)`,
+			},
+		},
+		stage{
+			name: "collectResult", ops: []string{"map", "collect"},
+			inputFrac: 0.3, outputFrac: 0.001,
+			lines: []string{
+				`val shortest = g.vertices.map { case (vid, dist) => s"$vid -> $dist" }`,
+				`println(shortest.collect().mkString("\n"))`,
+			},
+		},
+	)
+}

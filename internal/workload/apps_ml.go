@@ -1,0 +1,395 @@
+package workload
+
+// Machine-learning applications of Table V: LinearRegression, Logistic-
+// Regression, SVM, DecisionTree, KMeans, ALS (matrix factorization) and
+// SVD++. All are iterative: they cache the training set and run
+// gradient/statistics stages once per iteration, which is exactly the
+// workload shape that makes memory.fraction / storageFraction tuning
+// matter.
+
+func init() {
+	registerLinearRegression()
+	registerLogisticRegression()
+	registerSVM()
+	registerDecisionTree()
+	registerKMeans()
+	registerALS()
+	registerSVDPlusPlus()
+}
+
+func registerLinearRegression() {
+	build("LinearRegression", "LR", "ml", `
+val data = sc.textFile(inputPath).map(parsePoint).cache()
+val model = LinearRegressionWithSGD.train(data, numIterations, stepSize)
+model.save(sc, outputPath)
+`, 120, 16, 12, 1.0, false, mlSizes(),
+		stage{
+			name: "loadAndParse", ops: []string{"textFile", "map", "filter", "cache"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val lines = sc.textFile(inputPath, minPartitions)`,
+				`val parsed = lines.map { line => val parts = line.split(',')`,
+				`  LabeledPoint(parts(0).toDouble, Vectors.dense(parts.tail.map(_.toDouble))) }`,
+				`val valid = parsed.filter(p => !p.features.toArray.exists(_.isNaN))`,
+				`val data = valid.cache()`,
+			},
+		},
+		stage{
+			name: "countSamples", ops: []string{"count"},
+			inputFrac: 0.2, outputFrac: 0.0001,
+			lines: []string{
+				`val numExamples = data.count()`,
+				`require(numExamples > 0, "empty training set")`,
+			},
+		},
+		stage{
+			name: "gradientDescent", ops: []string{"sample", "map", "treeAggregate"},
+			inputFrac: 0.9, outputFrac: 0.0002, iterated: true, readsCache: true,
+			lines: []string{
+				`val sampled = data.sample(false, miniBatchFraction, 42 + i)`,
+				`val (gradientSum, lossSum, batchSize) = sampled.map { point =>`,
+				`  val (grad, loss) = gradient.compute(point.features, point.label, weights)`,
+				`  (grad, loss, 1L) }.treeAggregate((BDV.zeros[Double](n), 0.0, 0L))(seqOp, combOp)`,
+				`weights = updater.compute(weights, gradientSum / batchSize.toDouble, stepSize, i, regParam)._1`,
+				`lossHistory += lossSum / batchSize`,
+			},
+		},
+		stage{
+			name: "evaluateModel", ops: []string{"map", "reduce"},
+			inputFrac: 0.9, outputFrac: 0.0001, readsCache: true,
+			lines: []string{
+				`val MSE = data.map { point =>`,
+				`  val prediction = model.predict(point.features)`,
+				`  val err = point.label - prediction; err * err`,
+				`}.reduce(_ + _) / numExamples`,
+			},
+		},
+		stage{
+			name: "saveModel", ops: []string{"map", "saveAsTextFile"},
+			inputFrac: 0.05,
+			lines: []string{
+				`val modelRDD = sc.parallelize(Seq(model.weights.toArray.mkString(",")))`,
+				`modelRDD.map(w => s"weights:$w").saveAsTextFile(outputPath)`,
+			},
+		},
+	)
+}
+
+func registerLogisticRegression() {
+	build("LogisticRegression", "LGR", "ml", `
+val training = sc.textFile(inputPath).map(parseLabeledPoint).cache()
+val model = new LogisticRegressionWithLBFGS().setNumClasses(numClasses).run(training)
+val metrics = new MulticlassMetrics(predictionAndLabels)
+`, 120, 16, 10, 1.0, false, mlSizes(),
+		stage{
+			name: "loadAndParse", ops: []string{"textFile", "map", "cache"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val training = sc.textFile(inputPath).map { line =>`,
+				`  val arr = line.split("\\s+")`,
+				`  LabeledPoint(arr.head.toDouble, Vectors.sparse(dim, parseIndices(arr.tail), parseValues(arr.tail)))`,
+				`}.cache()`,
+			},
+		},
+		stage{
+			name: "statistics", ops: []string{"map", "aggregate"},
+			inputFrac: 0.6, outputFrac: 0.0001,
+			lines: []string{
+				`val summarizer = training.map(_.features).aggregate(new MultivariateOnlineSummarizer)(`,
+				`  (agg, v) => agg.add(v), (a, b) => a.merge(b))`,
+				`val featureStd = summarizer.variance.toArray.map(math.sqrt)`,
+			},
+		},
+		stage{
+			name: "lbfgsIteration", ops: []string{"map", "treeAggregate"},
+			inputFrac: 0.9, outputFrac: 0.0002, iterated: true, readsCache: true,
+			lines: []string{
+				`val (gradSum, lossSum) = training.map { case LabeledPoint(label, features) =>`,
+				`  val margin = -1.0 * dot(weights, features)`,
+				`  val multiplier = (1.0 / (1.0 + math.exp(margin))) - label`,
+				`  (scal(multiplier, features), log1pExp(margin))`,
+				`}.treeAggregate((Vectors.zeros(dim), 0.0))(seqOp = addInPlace, combOp = mergeInPlace)`,
+				`state = lbfgs.step(gradSum, lossSum + regVal(weights))`,
+			},
+		},
+		stage{
+			name: "predictAndScore", ops: []string{"map", "mapValues", "count"},
+			inputFrac: 0.9, outputFrac: 0.0001, readsCache: true,
+			lines: []string{
+				`val predictionAndLabels = training.map { case LabeledPoint(label, features) =>`,
+				`  (model.predict(features), label) }`,
+				`val accuracy = predictionAndLabels.filter(pl => pl._1 == pl._2).count.toDouble / n`,
+			},
+		},
+	)
+}
+
+func registerSVM() {
+	build("SVM", "SVM", "ml", `
+val data = MLUtils.loadLibSVMFile(sc, inputPath).cache()
+val model = SVMWithSGD.train(data, numIterations, stepSize, regParam)
+model.clearThreshold()
+`, 150, 32, 12, 1.0, false, mlSizes(),
+		stage{
+			name: "loadLibSVM", ops: []string{"textFile", "map", "filter", "cache"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val parsed = sc.textFile(path).map(_.trim).filter(line => !(line.isEmpty || line.startsWith("#")))`,
+				`val data = parsed.map { line =>`,
+				`  val items = line.split(' ')`,
+				`  val (indices, values) = items.tail.filter(_.nonEmpty).map { item =>`,
+				`    val entry = item.split(':'); (entry(0).toInt - 1, entry(1).toDouble) }.unzip`,
+				`  LabeledPoint(items.head.toDouble, Vectors.sparse(numFeatures, indices, values)) }.cache()`,
+			},
+		},
+		stage{
+			name: "hingeGradient", ops: []string{"sample", "map", "treeAggregate"},
+			inputFrac: 0.9, outputFrac: 0.0002, iterated: true, readsCache: true,
+			lines: []string{
+				`val batch = data.sample(false, miniBatchFraction, seed + i)`,
+				`val (gradientSum, lossSum) = batch.map { p =>`,
+				`  val dotProduct = dot(p.features, weights)`,
+				`  val labelScaled = 2 * p.label - 1.0`,
+				`  if (1.0 > labelScaled * dotProduct) (scal(-labelScaled, p.features), 1.0 - labelScaled * dotProduct)`,
+				`  else (Vectors.zeros(dim), 0.0)`,
+				`}.treeAggregate((Vectors.zeros(dim), 0.0))(seqOp, combOp)`,
+				`weights = svmUpdater.compute(weights, gradientSum, stepSize / math.sqrt(i), i, regParam)._1`,
+			},
+		},
+		stage{
+			name: "areaUnderROC", ops: []string{"map", "sortByKey", "zipWithIndex", "reduce"},
+			inputFrac: 0.9, shuffleIn: 0.4, outputFrac: 0.0001, readsCache: true,
+			lines: []string{
+				`val scoreAndLabels = data.map(p => (model.predict(p.features), p.label))`,
+				`val ordered = scoreAndLabels.sortByKey(ascending = false).zipWithIndex()`,
+				`val auROC = new BinaryClassificationMetrics(scoreAndLabels).areaUnderROC()`,
+			},
+		},
+	)
+}
+
+func registerDecisionTree() {
+	build("DecisionTree", "DT", "ml", `
+val data = sc.textFile(inputPath).map(parsePoint).cache()
+val model = DecisionTree.trainClassifier(data, numClasses, categoricalFeaturesInfo,
+  impurity = "gini", maxDepth, maxBins)
+`, 140, 28, 8, 1.1, false, mlSizes(),
+		stage{
+			name: "loadPoints", ops: []string{"textFile", "map", "cache"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val data = sc.textFile(inputPath).map { line =>`,
+				`  val parts = line.split(',').map(_.toDouble)`,
+				`  LabeledPoint(parts.head, Vectors.dense(parts.tail)) }.cache()`,
+			},
+		},
+		stage{
+			name: "findSplits", ops: []string{"sample", "map", "collect"},
+			inputFrac: 0.25, outputFrac: 0.002,
+			lines: []string{
+				`val sampledInput = data.sample(withReplacement = false, fraction = samplesFractionForFindSplits, seed = 1)`,
+				`val splits = sampledInput.map(_.features).collect().transpose.map(findSplitsForFeature)`,
+				`val bins = DecisionTreeMetadata.buildBins(splits, maxBins)`,
+			},
+		},
+		stage{
+			name: "treePointConversion", ops: []string{"map", "cache"},
+			inputFrac: 0.9, readsCache: true,
+			lines: []string{
+				`val treeInput = data.map(point => TreePoint.labeledPointToTreePoint(point, splits, bins)).cache()`,
+				`val baggedInput = BaggedPoint.convertToBaggedRDD(treeInput, subsamplingRate, numTrees = 1)`,
+			},
+		},
+		stage{
+			name: "collectNodeStats", ops: []string{"mapPartitions", "aggregateByKey", "collect"},
+			inputFrac: 0.9, shuffleIn: 0.25, outputFrac: 0.004, iterated: true, readsCache: true,
+			lines: []string{
+				`val nodeStats = baggedInput.mapPartitions { points =>`,
+				`  val statsAggregator = new DTStatsAggregator(metadata, featuresForNode)`,
+				`  points.foreach(p => binSeqOp(statsAggregator, p, nodesForGroup))`,
+				`  statsAggregator.iterator`,
+				`}.aggregateByKey(zeroStats)(mergeValue = _.merge(_), mergeCombiners = _.merge(_))`,
+				`val bestSplits = nodeStats.collect().map { case (nodeId, stats) => binsToBestSplit(stats, splits, featuresForNode) }`,
+				`nodeQueue ++= bestSplits.flatMap(split => expandNode(split, maxDepth))`,
+			},
+		},
+		stage{
+			name: "predictError", ops: []string{"map", "filter", "count"},
+			inputFrac: 0.9, outputFrac: 0.0001, readsCache: true,
+			lines: []string{
+				`val labelAndPreds = data.map(point => (point.label, model.predict(point.features)))`,
+				`val testErr = labelAndPreds.filter(r => r._1 != r._2).count().toDouble / data.count()`,
+			},
+		},
+	)
+}
+
+func registerKMeans() {
+	build("KMeans", "KM", "ml", `
+val points = sc.textFile(inputPath).map(parseVector).cache()
+val model = KMeans.train(points, k, maxIterations, initializationMode = "k-means||")
+val cost = model.computeCost(points)
+`, 100, 20, 14, 1.0, false, mlSizes(),
+		stage{
+			name: "loadVectors", ops: []string{"textFile", "map", "cache"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val points = sc.textFile(inputPath).map { line =>`,
+				`  Vectors.dense(line.split(' ').map(_.toDouble)) }.cache()`,
+				`val norms = points.map(Vectors.norm(_, 2.0)).cache()`,
+			},
+		},
+		stage{
+			name: "initCenters", ops: []string{"sample", "collect", "broadcast"},
+			inputFrac: 0.15, outputFrac: 0.003,
+			lines: []string{
+				`val sample = points.sample(false, math.min(1.0, 5.0 * k / numPoints), seed).collect()`,
+				`var centers = sample.take(k).map(_.toDense)`,
+				`val bcCenters = sc.broadcast(centers)`,
+			},
+		},
+		stage{
+			name: "lloydIteration", ops: []string{"mapPartitions", "reduceByKey", "collect"},
+			inputFrac: 0.95, shuffleIn: 0.12, outputFrac: 0.002, iterated: true, readsCache: true,
+			lines: []string{
+				`val totalContribs = points.mapPartitions { iter =>`,
+				`  val sums = Array.fill(k)(Vectors.zeros(dim)); val counts = Array.fill(k)(0L)`,
+				`  iter.foreach { point =>`,
+				`    val (bestCenter, cost) = KMeans.findClosest(bcCenters.value, point)`,
+				`    axpy(1.0, point, sums(bestCenter)); counts(bestCenter) += 1 }`,
+				`  sums.indices.filter(counts(_) > 0).map(j => (j, (sums(j), counts(j)))).iterator`,
+				`}.reduceByKey { case ((s1, c1), (s2, c2)) => axpy(1.0, s2, s1); (s1, c1 + c2) }.collectAsMap()`,
+				`centers = totalContribs.map { case (j, (sum, count)) => scal(1.0 / count, sum); sum.toDense }.toArray`,
+			},
+		},
+		stage{
+			name: "computeCost", ops: []string{"map", "reduce"},
+			inputFrac: 0.95, outputFrac: 0.0001, readsCache: true,
+			lines: []string{
+				`val cost = points.map(p => KMeans.pointCost(bcCenters.value, p)).reduce(_ + _)`,
+				`logInfo(s"KMeans cost = $cost after $maxIterations iterations")`,
+			},
+		},
+	)
+}
+
+func registerALS() {
+	build("ALS", "ALS", "ml", `
+val ratings = sc.textFile(inputPath).map(parseRating).cache()
+val model = ALS.train(ratings, rank, numIterations, lambda)
+val predictions = model.predict(usersProducts)
+`, 40, 3, 10, 1.2, false, mlSizes(),
+		stage{
+			name: "loadRatings", ops: []string{"textFile", "map", "cache"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val ratings = sc.textFile(inputPath).map { line =>`,
+				`  val fields = line.split("::")`,
+				`  Rating(fields(0).toInt, fields(1).toInt, fields(2).toDouble) }.cache()`,
+			},
+		},
+		stage{
+			name: "makeBlocks", ops: []string{"map", "partitionBy", "mapPartitions", "cache"},
+			inputFrac: 0.95, shuffleIn: 0.9,
+			lines: []string{
+				`val blockRatings = ratings.map(r => (userPartitioner.getPartition(r.user), r))`,
+				`  .partitionBy(new HashPartitioner(numUserBlocks))`,
+				`val (userInBlocks, userOutBlocks) = makeBlocks("user", blockRatings, userPart, itemPart)`,
+				`userInBlocks.cache(); userOutBlocks.cache()`,
+			},
+		},
+		stage{
+			name: "updateUserFactors", ops: []string{"join", "flatMap", "groupByKey", "mapValues"},
+			inputFrac: 0.85, shuffleIn: 0.7, iterated: true, readsCache: true,
+			extraEdges: [][2]int{{0, 2}},
+			lines: []string{
+				`val merged = userOutBlocks.join(itemFactors).flatMap { case (blockId, (outBlock, factors)) =>`,
+				`  outBlock.view.zipWithIndex.map { case (dst, idx) => (dst, (blockId, factors(idx))) } }`,
+				`val grouped = merged.groupByKey(new HashPartitioner(numItemBlocks))`,
+				`itemFactors = grouped.mapValues(msgs => leastSquaresNE(msgs, rank, lambda))`,
+			},
+		},
+		stage{
+			name: "updateItemFactors", ops: []string{"join", "flatMap", "groupByKey", "mapValues"},
+			inputFrac: 0.85, shuffleIn: 0.7, iterated: true, readsCache: true,
+			extraEdges: [][2]int{{0, 2}},
+			lines: []string{
+				`val itemMsgs = itemOutBlocks.join(userFactors).flatMap { case (blockId, (outBlock, factors)) =>`,
+				`  outBlock.view.zipWithIndex.map { case (dst, idx) => (dst, (blockId, factors(idx))) } }`,
+				`userFactors = itemMsgs.groupByKey(new HashPartitioner(numUserBlocks))`,
+				`  .mapValues(msgs => leastSquaresNE(msgs, rank, lambda))`,
+			},
+		},
+		stage{
+			name: "computeRMSE", ops: []string{"map", "join", "map", "reduce"},
+			inputFrac: 0.8, shuffleIn: 0.5, outputFrac: 0.0001,
+			extraEdges: [][2]int{{0, 3}},
+			lines: []string{
+				`val predictions = model.predict(ratings.map(r => (r.user, r.product)))`,
+				`val ratesAndPreds = ratings.map(r => ((r.user, r.product), r.rating))`,
+				`  .join(predictions.map(p => ((p.user, p.product), p.rating)))`,
+				`val MSE = ratesAndPreds.map { case (_, (r1, r2)) => val err = r1 - r2; err * err }.reduce(_ + _) / n`,
+			},
+		},
+	)
+}
+
+func registerSVDPlusPlus() {
+	build("SVDPlusPlus", "SVD", "ml", `
+val edges = sc.textFile(inputPath).map(parseEdge)
+val conf = new SVDPlusPlus.Conf(rank, maxIters, minVal, maxVal, gamma1, gamma2, gamma6, gamma7)
+val (graph, mean) = SVDPlusPlus.run(edges, conf)
+`, 36, 3, 8, 1.3, false, graphSizes(),
+		stage{
+			name: "loadEdges", ops: []string{"textFile", "map", "cache"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val edges = sc.textFile(inputPath).map { line =>`,
+				`  val fields = line.split(' ')`,
+				`  Edge(fields(0).toLong, fields(1).toLong, fields(2).toDouble) }.cache()`,
+			},
+		},
+		stage{
+			name: "buildGraph", ops: []string{"map", "reduceByKey", "join", "cache"},
+			inputFrac: 0.95, shuffleIn: 0.8,
+			extraEdges: [][2]int{{0, 2}},
+			lines: []string{
+				`val ratingMean = edges.map(_.attr).reduce(_ + _) / edges.count()`,
+				`var g = Graph.fromEdges(edges, defaultValue = (randomFactor(rank), randomFactor(rank), 0.0, 0.0))`,
+				`val degrees = g.aggregateMessages[Long](ctx => { ctx.sendToSrc(1L); ctx.sendToDst(1L) }, _ + _)`,
+				`g = g.outerJoinVertices(degrees) { (vid, vd, deg) => (vd._1, vd._2, vd._3, deg.getOrElse(0L).toDouble) }.cache()`,
+			},
+		},
+		stage{
+			name: "gradientPhase1", ops: []string{"zipPartitions", "flatMap", "reduceByKey", "join"},
+			inputFrac: 0.9, shuffleIn: 0.6, iterated: true, readsCache: true,
+			extraEdges: [][2]int{{1, 3}},
+			lines: []string{
+				`val t0 = g.aggregateMessages[(Array[Double], Int)](ctx =>`,
+				`  { ctx.sendToSrc((ctx.dstAttr._2, 1)); ctx.sendToDst((ctx.srcAttr._2, 1)) },`,
+				`  (a, b) => (blas.daxpy(rank, 1.0, b._1, 1, a._1, 1), a._2 + b._2))`,
+				`g = g.outerJoinVertices(t0) { (vid, vd, msg) => updateImplicitFeedback(vd, msg, gamma7) }`,
+			},
+		},
+		stage{
+			name: "gradientPhase2", ops: []string{"zipPartitions", "flatMap", "reduceByKey", "join"},
+			inputFrac: 0.9, shuffleIn: 0.6, iterated: true, readsCache: true,
+			extraEdges: [][2]int{{1, 3}},
+			lines: []string{
+				`val t1 = g.aggregateMessages[(Array[Double], Array[Double], Double)](sendMsgTrainF(conf, ratingMean), mergeMsg)`,
+				`g = g.outerJoinVertices(t1) { (vid, vd, msg) =>`,
+				`  applyGradient(vd, msg, conf.gamma1, conf.gamma2, conf.gamma6) }.cache()`,
+			},
+		},
+		stage{
+			name: "computeError", ops: []string{"zipPartitions", "map", "reduce"},
+			inputFrac: 0.85, outputFrac: 0.0001, readsCache: true,
+			lines: []string{
+				`val err = g.aggregateMessages[Double](ctx => {`,
+				`  val pred = predictRating(ctx.srcAttr, ctx.dstAttr, ratingMean, conf.minVal, conf.maxVal)`,
+				`  ctx.sendToDst((ctx.attr - pred) * (ctx.attr - pred)) }, _ + _)`,
+				`val rmse = math.sqrt(err.map(_._2).reduce(_ + _) / edgeCount)`,
+			},
+		},
+	)
+}

@@ -1,0 +1,93 @@
+package workload
+
+// MapReduce-style applications of Table V: Terasort (the paper's running
+// example, Fig. 4/5) and WordCount. Terasort is the canonical
+// shuffle-bound, skew-sensitive sort; WordCount is the light aggregation
+// baseline whose optimum sits at very different knob values.
+
+func init() {
+	registerTerasort()
+	registerWordCount()
+}
+
+func registerTerasort() {
+	// MainCode mirrors Figure 4 of the paper: three functional lines, with
+	// line 4 (the partitioner + sortByKey) carrying all the semantics.
+	build("Terasort", "TS", "mapreduce", `
+val file = sc.textFile(inputPath)
+val data = file.map(line => (line.substring(0, 10), line.substring(10)))
+val sorted = data.repartitionAndSortWithinPartitions(new TeraSortPartitioner(partitions))
+sorted.map { case (k, v) => k + v }.saveAsTextFile(outputPath)
+`, 100, 2, 1, 1.6, false, mrSizes(),
+		stage{
+			// Stage-level code after instrumentation (paper Fig. 5): the
+			// brief main body expands into the RDD-internal map/sort calls.
+			name: "readAndKey", ops: []string{"textFile", "map", "mapToPair"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val file = sc.newAPIHadoopFile[Text, Text, TeraInputFormat](inputPath)`,
+				`val data = file.map { case (key, value) => (key.copyBytes(), value.copyBytes()) }`,
+				`val keyed = data.mapToPair(rec => (new TeraKey(rec._1), rec._2))`,
+			},
+		},
+		stage{
+			name: "samplePartitionBounds", ops: []string{"sample", "sortByKey", "collect", "broadcast"},
+			inputFrac: 0.05, outputFrac: 0.0005,
+			lines: []string{
+				`val sampled = keyed.sample(withReplacement = false, fraction = sampleFraction, seed = 7)`,
+				`val bounds = sampled.map(_._1).sortByKey().collect()`,
+				`val partitioner = new TeraSortPartitioner(bounds, numPartitions)`,
+				`val bcBounds = sc.broadcast(partitioner.rangeBounds)`,
+			},
+		},
+		stage{
+			name: "shuffleSort", ops: []string{"partitionBy", "sortByKey", "mapPartitions"},
+			inputFrac: 1.0, shuffleIn: 1.0,
+			lines: []string{
+				`val sorted = keyed.partitionBy(partitioner)`,
+				`  .mapPartitions(iter => iter.toArray.sortBy(_._1)(teraKeyOrdering).iterator, preservesPartitioning = true)`,
+				`val merged = sorted.sortByKey(ascending = true, numPartitions)`,
+			},
+		},
+		stage{
+			name: "writeOutput", ops: []string{"map", "saveAsTextFile"},
+			inputFrac: 1.0, shuffleIn: 0.1,
+			lines: []string{
+				`merged.map { case (k, v) => k.toString + v.toString }`,
+				`  .saveAsTextFile(outputPath, classOf[TeraOutputFormat])`,
+			},
+		},
+	)
+}
+
+func registerWordCount() {
+	build("WordCount", "WC", "mapreduce", `
+val lines = sc.textFile(inputPath)
+val counts = lines.flatMap(_.split(" ")).map(word => (word, 1)).reduceByKey(_ + _)
+counts.saveAsTextFile(outputPath)
+`, 80, 1, 1, 1.2, false, mrSizes(),
+		stage{
+			name: "tokenize", ops: []string{"textFile", "flatMap", "map"},
+			inputFrac: 1.0,
+			lines: []string{
+				`val lines = sc.textFile(inputPath)`,
+				`val words = lines.flatMap(line => line.toLowerCase.split("[^a-z']+"))`,
+				`val pairs = words.filter(_.nonEmpty).map(word => (word, 1L))`,
+			},
+		},
+		stage{
+			name: "aggregateCounts", ops: []string{"reduceByKey"},
+			inputFrac: 0.8, shuffleIn: 0.6,
+			lines: []string{
+				`val counts = pairs.reduceByKey((a, b) => a + b, numPartitions)`,
+			},
+		},
+		stage{
+			name: "saveCounts", ops: []string{"map", "saveAsTextFile"},
+			inputFrac: 0.2,
+			lines: []string{
+				`counts.map { case (word, count) => s"$word\t$count" }.saveAsTextFile(outputPath)`,
+			},
+		},
+	)
+}

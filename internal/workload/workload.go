@@ -1,0 +1,193 @@
+// Package workload defines the 15 spark-bench applications of Table V —
+// machine-learning, graph, and MapReduce algorithms — as sparksim
+// application specifications: main-body source code, per-stage expanded
+// (instrumented) code, stage DAG templates, cost-profile operations, and
+// the training/validation/testing data-size grids the paper's evaluation
+// uses.
+//
+// Stage code is what NECS's code encoder consumes; DAG node labels are what
+// the scheduler encoder consumes; the same operation lists also drive the
+// simulator's cost profile, so the correlation the paper exploits (code
+// semantics → performance) is present in the synthetic corpus.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lite/internal/sparksim"
+)
+
+// Sizes groups the data-size grids of Table V. Units are MB of input data
+// (for GraphData apps, sparksim sizes are still MB; VerticesFor converts).
+type Sizes struct {
+	// Train lists the four small training sizes per cluster (jobs finish
+	// in about a minute).
+	Train []float64
+	// Valid is the mid-scale validation size.
+	Valid float64
+	// Test is the large testing size used in cluster C.
+	Test float64
+}
+
+// App couples a sparksim specification with its evaluation data sizes.
+type App struct {
+	Spec  *sparksim.AppSpec
+	Sizes Sizes
+}
+
+// VerticesFor reports the vertex count for a graph dataset of the given
+// size ("LabelPropagation" is recorded in #nodes in Table V).
+func VerticesFor(sizeMB float64) int { return int(sizeMB * 6000) }
+
+var registry []*App
+
+// All returns every application in stable (registration) order.
+func All() []*App { return registry }
+
+// Names returns the application names in registration order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, a := range registry {
+		out[i] = a.Spec.Name
+	}
+	return out
+}
+
+// ByName returns the application with the given name or abbreviation.
+func ByName(name string) *App {
+	for _, a := range registry {
+		if a.Spec.Name == name || a.Spec.Abbrev == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// stage is the builder used by the per-family files to declare stages.
+type stage struct {
+	name       string
+	ops        []string
+	extraEdges [][2]int
+	inputFrac  float64
+	shuffleIn  float64
+	outputFrac float64
+	iterated   bool
+	readsCache bool
+	lines      []string
+}
+
+func build(name, abbrev, family, mainCode string, rowBytes float64, cols, iters int, skew float64, graph bool, sizes Sizes, stages ...stage) {
+	spec := &sparksim.AppSpec{
+		Name:              name,
+		Abbrev:            abbrev,
+		Family:            family,
+		MainCode:          strings.TrimSpace(mainCode),
+		DefaultIterations: iters,
+		RowBytes:          rowBytes,
+		Columns:           cols,
+		GraphData:         graph,
+		SkewFactor:        skew,
+	}
+	for _, s := range stages {
+		edges := make([][2]int, 0, len(s.ops))
+		for i := 0; i+1 < len(s.ops); i++ {
+			edges = append(edges, [2]int{i, i + 1})
+		}
+		edges = append(edges, s.extraEdges...)
+		code := strings.Join(s.lines, "\n")
+		spec.Stages = append(spec.Stages, sparksim.StageSpec{
+			Name:            s.name,
+			Ops:             s.ops,
+			Edges:           edges,
+			Code:            code,
+			InputFrac:       s.inputFrac,
+			ShuffleReadFrac: s.shuffleIn,
+			OutputFrac:      s.outputFrac,
+			Iterated:        s.iterated,
+			ReadsCache:      s.readsCache,
+		})
+	}
+	registry = append(registry, &App{Spec: spec, Sizes: sizes})
+}
+
+// mlSizes is the default grid for ML applications: four small training
+// sizes, a 1 GB validation size and a 10 GB testing size.
+func mlSizes() Sizes {
+	return Sizes{Train: []float64{60, 100, 140, 180}, Valid: 1024, Test: 10240}
+}
+
+// graphSizes uses smaller inputs: graph algorithms blow up per input byte.
+func graphSizes() Sizes {
+	return Sizes{Train: []float64{40, 70, 100, 130}, Valid: 512, Test: 4096}
+}
+
+// mrSizes covers the MapReduce family (Terasort, WordCount).
+func mrSizes() Sizes {
+	return Sizes{Train: []float64{100, 160, 220, 280}, Valid: 2048, Test: 20480}
+}
+
+// CheckRegistry validates every registered application: ops must exist in
+// the simulator catalog, fractions must be sane, and code must be present.
+// Tests call it; it returns the first problem found.
+func CheckRegistry() error {
+	if len(registry) != 15 {
+		return fmt.Errorf("expected 15 applications, have %d", len(registry))
+	}
+	seen := map[string]bool{}
+	for _, a := range registry {
+		s := a.Spec
+		if seen[s.Name] {
+			return fmt.Errorf("duplicate application %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.MainCode == "" {
+			return fmt.Errorf("%s: empty main code", s.Name)
+		}
+		if len(s.Stages) < 2 {
+			return fmt.Errorf("%s: fewer than 2 stages", s.Name)
+		}
+		for _, st := range s.Stages {
+			if len(st.Ops) == 0 {
+				return fmt.Errorf("%s/%s: no ops", s.Name, st.Name)
+			}
+			if st.Code == "" {
+				return fmt.Errorf("%s/%s: no stage code", s.Name, st.Name)
+			}
+			if st.InputFrac <= 0 || st.InputFrac > 2 {
+				return fmt.Errorf("%s/%s: bad input fraction %f", s.Name, st.Name, st.InputFrac)
+			}
+			for _, e := range st.Edges {
+				if e[0] < 0 || e[0] >= len(st.Ops) || e[1] < 0 || e[1] >= len(st.Ops) {
+					return fmt.Errorf("%s/%s: edge %v out of range", s.Name, st.Name, e)
+				}
+			}
+		}
+		if len(a.Sizes.Train) != 4 {
+			return fmt.Errorf("%s: expected 4 training sizes", s.Name)
+		}
+	}
+	return nil
+}
+
+// UnknownOps returns operations referenced by stages but missing from the
+// simulator catalog (these behave as oov ops; the list should stay small).
+func UnknownOps() []string {
+	set := map[string]bool{}
+	for _, a := range registry {
+		for _, st := range a.Spec.Stages {
+			for _, op := range st.Ops {
+				if _, ok := sparksim.OpCatalog[op]; !ok {
+					set[op] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for op := range set {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"lite/internal/sparksim"
+)
+
+func TestRegistryIsValid(t *testing.T) {
+	if err := CheckRegistry(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFifteenApplicationsAcrossFamilies(t *testing.T) {
+	apps := All()
+	if len(apps) != 15 {
+		t.Fatalf("got %d apps, want 15", len(apps))
+	}
+	fam := map[string]int{}
+	for _, a := range apps {
+		fam[a.Spec.Family]++
+	}
+	if fam["ml"] < 5 || fam["graph"] < 5 || fam["mapreduce"] < 2 {
+		t.Fatalf("family coverage too thin: %v", fam)
+	}
+}
+
+func TestNoUnknownOps(t *testing.T) {
+	if ops := UnknownOps(); len(ops) != 0 {
+		t.Fatalf("ops missing from simulator catalog: %v", ops)
+	}
+}
+
+func TestByNameAndAbbrev(t *testing.T) {
+	if ByName("PageRank") == nil {
+		t.Fatal("PageRank not found by name")
+	}
+	if ByName("PR") == nil {
+		t.Fatal("PageRank not found by abbreviation")
+	}
+	if ByName("NoSuchApp") != nil {
+		t.Fatal("unknown app should return nil")
+	}
+	if ByName("TS").Spec.Name != "Terasort" {
+		t.Fatal("TS should be Terasort")
+	}
+}
+
+func TestNamesMatchesAll(t *testing.T) {
+	names := Names()
+	apps := All()
+	if len(names) != len(apps) {
+		t.Fatal("Names length mismatch")
+	}
+	for i, a := range apps {
+		if names[i] != a.Spec.Name {
+			t.Fatalf("Names[%d] = %q, want %q", i, names[i], a.Spec.Name)
+		}
+	}
+}
+
+func TestStageCodeExpandsMainCode(t *testing.T) {
+	// The point of Stage-based Code Organization (paper Fig. 4 vs 5): the
+	// per-stage corpus must be larger than the main body for every app.
+	for _, a := range All() {
+		var stageTokens int
+		for _, st := range a.Spec.Stages {
+			stageTokens += len(strings.Fields(st.Code))
+		}
+		mainTokens := len(strings.Fields(a.Spec.MainCode))
+		if stageTokens <= mainTokens {
+			t.Fatalf("%s: stage code (%d tokens) not larger than main code (%d)", a.Spec.Name, stageTokens, mainTokens)
+		}
+	}
+}
+
+func TestTerasortMirrorsPaperFigure4(t *testing.T) {
+	ts := ByName("Terasort")
+	if !strings.Contains(ts.Spec.MainCode, "TeraSortPartitioner") {
+		t.Fatal("Terasort main code should contain the TeraSortPartitioner token")
+	}
+	if !strings.Contains(ts.Spec.MainCode, "sortByKey") && !strings.Contains(ts.Spec.MainCode, "repartitionAndSortWithinPartitions") {
+		t.Fatal("Terasort main code should contain a sort call")
+	}
+	// The shuffleSort stage must be shuffle-bound.
+	var found bool
+	for _, st := range ts.Spec.Stages {
+		if st.Name == "shuffleSort" {
+			found = true
+			if st.ShuffleReadFrac < 0.9 {
+				t.Fatalf("shuffleSort should read a full shuffle, got %v", st.ShuffleReadFrac)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Terasort lacks shuffleSort stage")
+	}
+}
+
+func TestIterativeAppsHaveIteratedCachedStages(t *testing.T) {
+	for _, name := range []string{"PageRank", "KMeans", "LinearRegression", "ALS", "ShortestPath"} {
+		app := ByName(name)
+		var hasIter, hasCache bool
+		for _, st := range app.Spec.Stages {
+			if st.Iterated {
+				hasIter = true
+			}
+			if st.ReadsCache {
+				hasCache = true
+			}
+		}
+		if !hasIter || !hasCache {
+			t.Fatalf("%s: iterative ML/graph app needs iterated (got %v) and cache-reading (got %v) stages", name, hasIter, hasCache)
+		}
+	}
+}
+
+func TestSizesOrdering(t *testing.T) {
+	for _, a := range All() {
+		s := a.Sizes
+		for i := 1; i < len(s.Train); i++ {
+			if s.Train[i] <= s.Train[i-1] {
+				t.Fatalf("%s: training sizes not increasing", a.Spec.Name)
+			}
+		}
+		if s.Valid <= s.Train[len(s.Train)-1] {
+			t.Fatalf("%s: validation size not larger than training sizes", a.Spec.Name)
+		}
+		if s.Test <= s.Valid {
+			t.Fatalf("%s: testing size not larger than validation size", a.Spec.Name)
+		}
+	}
+}
+
+func TestSmallJobsFinishAboutAMinute(t *testing.T) {
+	// Paper: training datasizes are "as small as possible so that each
+	// application can be finished in about one minute".
+	for _, a := range All() {
+		d := a.Spec.MakeData(a.Sizes.Train[0])
+		r := sparksim.Simulate(a.Spec, d, sparksim.ClusterA, sparksim.DefaultConfig())
+		if r.Failed {
+			t.Fatalf("%s: smallest training job failed: %s", a.Spec.Name, r.FailReason)
+		}
+		if r.Seconds > 300 {
+			t.Fatalf("%s: smallest training job takes %.0f s, want ≲ minutes", a.Spec.Name, r.Seconds)
+		}
+	}
+}
+
+func TestLargeJobsHaveTuningHeadroom(t *testing.T) {
+	// A well-provisioned configuration must beat the default substantially
+	// on large data — otherwise the tuning experiments are meaningless.
+	good := sparksim.DefaultConfig()
+	good[sparksim.KnobExecutorCores] = 4
+	good[sparksim.KnobExecutorMemory] = 8
+	good[sparksim.KnobExecutorInstances] = 24
+	good[sparksim.KnobDefaultParallelism] = 192
+	good[sparksim.KnobMemoryFraction] = 0.6
+	for _, name := range []string{"PageRank", "Terasort", "KMeans"} {
+		a := ByName(name)
+		d := a.Spec.MakeData(a.Sizes.Test)
+		env := sparksim.ClusterB // plenty of memory per node
+		def := sparksim.Simulate(a.Spec, d, env, sparksim.DefaultConfig())
+		tuned := sparksim.Simulate(a.Spec, d, env, good)
+		if tuned.Failed {
+			t.Fatalf("%s: good config failed: %s", name, tuned.FailReason)
+		}
+		if tuned.Seconds >= def.Seconds*0.7 {
+			t.Fatalf("%s: tuned %v s not much faster than default %v s", name, tuned.Seconds, def.Seconds)
+		}
+	}
+}
+
+func TestVerticesFor(t *testing.T) {
+	if VerticesFor(100) != 600000 {
+		t.Fatalf("VerticesFor(100) = %d", VerticesFor(100))
+	}
+}
+
+func TestGraphAppsFlagged(t *testing.T) {
+	for _, name := range []string{"PageRank", "TriangleCount", "LabelPropagation"} {
+		if !ByName(name).Spec.GraphData {
+			t.Fatalf("%s should be GraphData", name)
+		}
+	}
+	if ByName("WordCount").Spec.GraphData {
+		t.Fatal("WordCount should not be GraphData")
+	}
+}
+
+func TestDistinctCodeBetweenApps(t *testing.T) {
+	// Code features must discriminate apps: main codes must be unique.
+	seen := map[string]string{}
+	for _, a := range All() {
+		if prev, ok := seen[a.Spec.MainCode]; ok {
+			t.Fatalf("%s and %s share identical main code", prev, a.Spec.Name)
+		}
+		seen[a.Spec.MainCode] = a.Spec.Name
+	}
+}

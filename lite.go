@@ -1,0 +1,86 @@
+// Package lite is a from-scratch Go reproduction of "Adaptive Code
+// Learning for Spark Configuration Tuning" (ICDE 2022): the LITE
+// lightweight knob-recommender system, its NECS performance estimator
+// (CNN code encoder + GCN scheduler encoder + tower MLP), Adaptive
+// Candidate Generation, and Adaptive Model Update via adversarial
+// learning — together with the substrate the evaluation needs (a
+// deterministic Spark-cluster simulator, the spark-bench workloads, and
+// the BO/DDPG/GBDT/RFR competitor implementations).
+//
+// This root package is a thin facade over the implementation packages so
+// downstream users have a stable, documented entry point:
+//
+//	tuner, _ := lite.Train(lite.Workloads(), lite.DefaultTrainOptions())
+//	app := lite.WorkloadByName("PageRank")
+//	rec := tuner.Recommend(app.Spec, app.Spec.MakeData(4096), lite.ClusterC)
+//	fmt.Println(rec.Config, rec.PredictedSeconds)
+//
+// See examples/ for runnable programs, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-vs-reproduction results.
+package lite
+
+import (
+	"lite/internal/core"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// Re-exported core types: the tuner, its estimator, and training options.
+type (
+	// Tuner is the LITE system: offline-trained NECS + ACG + online
+	// recommendation with adaptive model update.
+	Tuner = core.Tuner
+	// NECS is the neural performance estimator (paper §III).
+	NECS = core.NECS
+	// NECSConfig sets the estimator's hyperparameters.
+	NECSConfig = core.NECSConfig
+	// TrainOptions bundles offline-training settings.
+	TrainOptions = core.TrainOptions
+	// Recommendation is the result of one online tuning request.
+	Recommendation = core.Recommendation
+	// Dataset is a collected offline training set.
+	Dataset = core.Dataset
+
+	// Config is a point in the 16-knob configuration space (Table IV).
+	Config = sparksim.Config
+	// Environment describes a compute cluster (Table III).
+	Environment = sparksim.Environment
+	// DataSpec describes an input dataset (Table I).
+	DataSpec = sparksim.DataSpec
+	// AppSpec describes an analytical application and its stage plan.
+	AppSpec = sparksim.AppSpec
+	// App couples an application spec with its evaluation data sizes.
+	App = workload.App
+)
+
+// The three evaluation clusters of Table III.
+var (
+	ClusterA = sparksim.ClusterA
+	ClusterB = sparksim.ClusterB
+	ClusterC = sparksim.ClusterC
+)
+
+// Train runs LITE's offline phase on the given applications: collect
+// small-data training runs, train NECS, fit the ACG models.
+func Train(apps []*App, opts TrainOptions) (*Tuner, *Dataset) {
+	return core.Train(apps, opts)
+}
+
+// DefaultTrainOptions returns the standard offline-training settings.
+func DefaultTrainOptions() TrainOptions { return core.DefaultTrainOptions() }
+
+// Workloads returns all 15 spark-bench applications of Table V.
+func Workloads() []*App { return workload.All() }
+
+// WorkloadByName looks up an application by name or abbreviation
+// (e.g. "PageRank" or "PR"); nil if unknown.
+func WorkloadByName(name string) *App { return workload.ByName(name) }
+
+// DefaultConfig returns Spark's out-of-the-box configuration.
+func DefaultConfig() Config { return sparksim.DefaultConfig() }
+
+// Simulate executes an application on the simulated cluster testbed and
+// returns its (deterministic) execution result.
+func Simulate(app *AppSpec, data DataSpec, env Environment, cfg Config) sparksim.Result {
+	return sparksim.Simulate(app, data, env, cfg)
+}

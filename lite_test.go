@@ -1,0 +1,52 @@
+package lite
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README
+// quickstart does: train on a couple of workloads, recommend, simulate.
+func TestFacadeEndToEnd(t *testing.T) {
+	apps := []*App{WorkloadByName("WordCount"), WorkloadByName("Terasort")}
+	opts := DefaultTrainOptions()
+	opts.NECS.Epochs = 3
+	opts.Collect.ConfigsPerInstance = 4
+	tuner, ds := Train(apps, opts)
+	if tuner == nil || ds == nil {
+		t.Fatal("Train returned nil")
+	}
+
+	app := WorkloadByName("Terasort")
+	data := app.Spec.MakeData(app.Sizes.Test)
+	rec := tuner.Recommend(app.Spec, data, ClusterC)
+	if len(rec.Ranked) == 0 {
+		t.Fatal("no ranked candidates")
+	}
+
+	def := Simulate(app.Spec, data, ClusterC, DefaultConfig())
+	got := Simulate(app.Spec, data, ClusterC, rec.Config)
+	if def.Seconds <= 0 || got.Seconds <= 0 {
+		t.Fatal("simulation returned nonpositive times")
+	}
+	if got.Seconds >= def.Seconds {
+		t.Fatalf("recommendation (%.0f s) should beat default (%.0f s)", got.Seconds, def.Seconds)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if len(Workloads()) != 15 {
+		t.Fatalf("expected 15 workloads, got %d", len(Workloads()))
+	}
+	if WorkloadByName("PR") == nil || WorkloadByName("PageRank") == nil {
+		t.Fatal("lookup by name and abbreviation must work")
+	}
+	if WorkloadByName("nope") != nil {
+		t.Fatal("unknown workload should be nil")
+	}
+}
+
+func TestFacadeClusters(t *testing.T) {
+	if ClusterA.Nodes != 1 || ClusterB.Nodes != 3 || ClusterC.Nodes != 8 {
+		t.Fatal("cluster definitions do not match Table III")
+	}
+}
