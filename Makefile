@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the tier-1 gate: everything must compile and every test pass.
+verify:
+	$(GO) build ./... && $(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x -timeout 45m
+
+clean:
+	$(GO) clean ./...
+	rm -f lite-tuner.json

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
@@ -55,14 +56,32 @@ func cmdTrain(args []string) {
 	out := fs.String("out", "lite-tuner.json", "output path for the trained tuner")
 	configs := fs.Int("configs", 8, "training configurations per (app,size,cluster)")
 	seed := fs.Int64("seed", 1, "random seed")
+	faults := fs.Float64("faults", 0, "transient-fault intensity injected into collection (0 = off, 1 = full)")
 	fs.Parse(args)
 
 	opts := core.DefaultTrainOptions()
 	opts.Collect.ConfigsPerInstance = *configs
 	opts.Seed = *seed
+	if *faults > 0 {
+		// Collect on fault-injecting clusters with the robust path: repeat
+		// flaky runs and retry failures before accepting a censored label.
+		profile := sparksim.ScaledFaults(*faults, *seed)
+		clusters := make([]sparksim.Environment, len(sparksim.AllClusters))
+		for i, env := range sparksim.AllClusters {
+			clusters[i] = env.WithFaults(profile)
+		}
+		opts.Collect.Clusters = clusters
+		opts.Collect.Repeats = 3
+		opts.Collect.FlakyRetries = 2
+	}
 	fmt.Fprintf(os.Stderr, "training LITE on all %d applications…\n", len(workload.All()))
 	tuner, ds := core.Train(workload.All(), opts)
 	fmt.Fprintf(os.Stderr, "trained on %d runs (%d stage instances)\n", len(ds.Runs), len(ds.Instances))
+	if *faults > 0 {
+		st := ds.Stats
+		fmt.Fprintf(os.Stderr, "robust collection: %d repeat runs, %d retries (%.0f s burned), %d censored labels\n",
+			st.RepeatRuns, st.Retries, st.RetrySeconds, st.Censored)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -130,8 +149,8 @@ func cmdAnalyze(args []string) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: lite {apps|knobs|train|recommend|simulate|inspect|analyze} [flags]")
-	fmt.Fprintln(os.Stderr, "  train     [-out tuner.json] [-configs N] [-seed S]\n  recommend -app <name> [-size MB] [-cluster A|B|C] [-model tuner.json]")
-	fmt.Fprintln(os.Stderr, "  simulate  -app <name> [-size MB] [-cluster A|B|C]   (runs default vs tuned)")
+	fmt.Fprintln(os.Stderr, "  train     [-out tuner.json] [-configs N] [-seed S] [-faults X]\n  recommend -app <name> [-size MB] [-cluster A|B|C] [-faults X] [-model tuner.json]")
+	fmt.Fprintln(os.Stderr, "  simulate  -app <name> [-size MB] [-cluster A|B|C] [-faults X]   (runs default vs tuned)")
 	fmt.Fprintln(os.Stderr, "  inspect   -app <name>\n  analyze   -app <name> [-size MB] [-cluster A|B|C]  (per-knob sensitivity sweep)")
 }
 
@@ -171,6 +190,7 @@ func cmdRecommend(args []string, alsoSimulate bool) {
 	candidates := fs.Int("candidates", 64, "knob candidates sampled by ACG")
 	configs := fs.Int("configs", 8, "training configurations per (app,size,cluster)")
 	seed := fs.Int64("seed", 1, "random seed")
+	faults := fs.Float64("faults", 0, "transient-fault intensity on the serving cluster (0 = off, 1 = full)")
 	modelPath := fs.String("model", "", "load a tuner saved by 'lite train' instead of retraining")
 	fs.Parse(args)
 
@@ -184,6 +204,7 @@ func cmdRecommend(args []string, alsoSimulate bool) {
 		fmt.Fprintf(os.Stderr, "unknown cluster %q\n", *cluster)
 		os.Exit(2)
 	}
+	env = env.WithFaults(sparksim.ScaledFaults(*faults, *seed))
 	size := *sizeMB
 	if size <= 0 {
 		size = app.Sizes.Test
@@ -212,9 +233,16 @@ func cmdRecommend(args []string, alsoSimulate bool) {
 	tuner.NumCandidates = *candidates
 
 	data := app.Spec.MakeData(size)
-	rec := tuner.Recommend(app.Spec, data, env)
-	fmt.Printf("recommendation for %s on %.0f MB, cluster %s (decided in %v):\n",
-		app.Spec.Name, size, env.Name, rec.Overhead)
+	rec, err := tuner.RecommendSafe(app.Spec, data, env)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("recommendation for %s on %.0f MB, cluster %s (decided in %v, tier: %s):\n",
+		app.Spec.Name, size, env.Name, rec.Overhead, rec.Tier)
+	for _, note := range rec.Notes {
+		fmt.Printf("  degraded: %s\n", note)
+	}
 	for i, k := range sparksim.Knobs {
 		switch k.Type {
 		case sparksim.KnobFloat:
@@ -225,7 +253,9 @@ func cmdRecommend(args []string, alsoSimulate bool) {
 			fmt.Printf("  %-34s %d%s\n", k.Name, int(rec.Config[i]), suffix(k.Unit))
 		}
 	}
-	fmt.Printf("predicted execution time: %.1f s\n", rec.PredictedSeconds)
+	if !math.IsNaN(rec.PredictedSeconds) {
+		fmt.Printf("predicted execution time: %.1f s\n", rec.PredictedSeconds)
+	}
 
 	if alsoSimulate {
 		def := sparksim.Simulate(app.Spec, data, env, sparksim.DefaultConfig())

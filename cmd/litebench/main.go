@@ -53,8 +53,9 @@ func main() {
 		"overhead": func() string { return experiments.ColdStartOverhead(suite).Format() },
 		"extra":    func() string { return experiments.Extra(suite).Format() },
 		"ablation": func() string { return experiments.Ablation(suite).Format() },
+		"faults":   func() string { return experiments.Faults(suite).Format() },
 	}
-	order := []string{"fig1", "fig9", "table6", "fig8", "table7", "table8", "table9", "table10", "table11", "fig10", "table12", "overhead", "extra", "ablation"}
+	order := []string{"fig1", "fig9", "table6", "fig8", "table7", "table8", "table9", "table10", "table11", "fig10", "table12", "overhead", "extra", "ablation", "faults"}
 
 	if *list {
 		ids := make([]string, 0, len(runners))

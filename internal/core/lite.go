@@ -1,6 +1,9 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -107,6 +110,16 @@ func (t *Tuner) RecommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env
 }
 
 func (t *Tuner) recommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, cands []sparksim.Config, start time.Time) Recommendation {
+	if len(cands) == 0 {
+		// Degenerate candidate set: fall back to the safe default rather
+		// than indexing into an empty ranking.
+		cfg := ForceFeasible(sparksim.DefaultConfig(), env)
+		return Recommendation{
+			Config:           cfg,
+			PredictedSeconds: t.Model.PredictApp(app, data, env, cfg),
+			Overhead:         time.Since(start),
+		}
+	}
 	scored := make([]ScoredConfig, len(cands))
 	for i, c := range cands {
 		scored[i] = ScoredConfig{Config: c, Predicted: t.Model.PredictApp(app, data, env, c)}
@@ -118,6 +131,141 @@ func (t *Tuner) recommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env
 		Ranked:           scored,
 		Overhead:         time.Since(start),
 	}
+}
+
+// Tier identifies which degradation level produced a safe recommendation.
+type Tier string
+
+// The graceful-degradation chain, best first.
+const (
+	// TierNECS is the full pipeline: NECS ranking over ACG candidates.
+	TierNECS Tier = "necs"
+	// TierACGRegion skips the estimator and recommends the center of the
+	// ACG region of interest (the RFR point prediction).
+	TierACGRegion Tier = "acg-region"
+	// TierSafeDefault is Spark's default configuration forced feasible.
+	TierSafeDefault Tier = "safe-default"
+)
+
+// ErrNoFeasibleConfig is returned when even the default configuration
+// cannot be allocated on the environment.
+var ErrNoFeasibleConfig = errors.New("core: no feasible configuration for environment")
+
+// SafeRecommendation is a Recommendation annotated with the degradation
+// tier that produced it and the reasons higher tiers were skipped.
+type SafeRecommendation struct {
+	Recommendation
+	// Tier is always non-empty on a nil-error return.
+	Tier Tier
+	// Notes records, in order, why each higher tier was bypassed.
+	Notes []string
+}
+
+// RecommendSafe is Recommend with a graceful-degradation chain for serving:
+//
+//	NECS ranking  →  ACG region best  →  feasible safe default
+//
+// It never panics (each tier recovers internally and demotes), screens out
+// candidates the static Feasible check or the estimator's predicted-failure
+// screening rejects, and reports which tier produced the answer. An error
+// is returned only when not even the default configuration fits the
+// environment.
+func (t *Tuner) RecommendSafe(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) (SafeRecommendation, error) {
+	start := time.Now()
+	sr := SafeRecommendation{}
+	if t.rng == nil {
+		// A hand-assembled or deserialized tuner may lack an RNG; serving
+		// must not crash over it.
+		t.rng = rand.New(rand.NewSource(1))
+	}
+
+	if rec, note := t.tryNECSTier(app, data, env, start); note == "" {
+		sr.Recommendation = rec
+		sr.Tier = TierNECS
+		return sr, nil
+	} else {
+		sr.Notes = append(sr.Notes, "necs: "+note)
+	}
+
+	if cfg, note := t.tryACGTier(app, data, env); note == "" {
+		sr.Config = cfg
+		sr.PredictedSeconds = math.NaN() // no trusted estimate at this tier
+		sr.Tier = TierACGRegion
+		sr.Overhead = time.Since(start)
+		return sr, nil
+	} else {
+		sr.Notes = append(sr.Notes, "acg: "+note)
+	}
+
+	cfg := ForceFeasible(sparksim.DefaultConfig(), env)
+	if !sparksim.Feasible(cfg, env) {
+		return sr, ErrNoFeasibleConfig
+	}
+	sr.Config = cfg
+	sr.PredictedSeconds = math.NaN()
+	sr.Tier = TierSafeDefault
+	sr.Overhead = time.Since(start)
+	return sr, nil
+}
+
+// tryNECSTier runs the full pipeline under a recover guard with
+// predicted-failure screening. An empty note means success.
+func (t *Tuner) tryNECSTier(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, start time.Time) (rec Recommendation, note string) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec, note = Recommendation{}, fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	if t.Model == nil || t.ACG == nil {
+		return rec, "model or candidate generator missing"
+	}
+	cands := t.ACG.SampleFeasible(app.Name, data, env, t.NumCandidates, t.rng)
+	scored := make([]ScoredConfig, 0, len(cands))
+	for _, c := range cands {
+		if !sparksim.Feasible(c, env) {
+			continue
+		}
+		p := t.Model.PredictApp(app, data, env, c)
+		// Predicted-failure screening: a candidate the estimator expects
+		// to hit the failure cap (or cannot score finitely) is not served.
+		if math.IsNaN(p) || math.IsInf(p, 0) || p >= sparksim.FailCap {
+			continue
+		}
+		scored = append(scored, ScoredConfig{Config: c, Predicted: p})
+	}
+	if len(scored) == 0 {
+		return rec, "no candidate survived feasibility and predicted-failure screening"
+	}
+	sort.SliceStable(scored, func(a, b int) bool { return scored[a].Predicted < scored[b].Predicted })
+	return Recommendation{
+		Config:           scored[0].Config,
+		PredictedSeconds: scored[0].Predicted,
+		Ranked:           scored,
+		Overhead:         time.Since(start),
+	}, ""
+}
+
+// tryACGTier returns the ACG region center forced feasible, guarded against
+// panics from a corrupted generator. An empty note means success.
+func (t *Tuner) tryACGTier(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) (cfg sparksim.Config, note string) {
+	defer func() {
+		if r := recover(); r != nil {
+			note = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	if t.ACG == nil {
+		return cfg, "candidate generator missing"
+	}
+	cfg = ForceFeasible(t.ACG.PointPrediction(app.Name, data), env)
+	for _, v := range cfg {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return cfg, "region center is not finite"
+		}
+	}
+	if !sparksim.Feasible(cfg, env) {
+		return cfg, "region center infeasible even after forcing"
+	}
+	return cfg, ""
 }
 
 // CollectFeedback records the outcome of executing a recommendation in the

@@ -47,6 +47,13 @@ type NECSConfig struct {
 	// Table XI. Unseen code tokens are dropped and unseen operations
 	// collapse onto an arbitrary known column.
 	DisableOOV bool
+
+	// CensoredWeight multiplies the training weight of FailCap-censored
+	// instances (runs that failed or exceeded the two-hour cap, whose
+	// label is the cap rather than a true measurement). 0 or 1 leaves them at
+	// full weight — the pre-robustness behavior; fault experiments use
+	// values below 1 so censored labels cannot dominate the regression.
+	CensoredWeight float64
 }
 
 // DefaultNECSConfig returns the configuration used by the experiments.
@@ -82,12 +89,26 @@ type Encoded struct {
 	// represents (iterated stages of one run share identical features, so
 	// the dataset builder deduplicates them into one weighted instance).
 	Weight float64
+	// Censored marks instances whose label is the FailCap ceiling (the
+	// source run failed); Fit can down-weight them via CensoredWeight.
+	Censored bool
 }
 
-// LabelOf converts stage seconds to the regression label.
-func LabelOf(seconds float64) float64 { return math.Log1p(seconds) }
+// LabelOf converts stage seconds to the regression label. Non-finite or
+// negative inputs (which a faulty measurement pipeline can produce) are
+// coerced to the failure cap so one bad sample cannot inject NaN into the
+// training objective; finite non-negative seconds map exactly as before.
+func LabelOf(seconds float64) float64 {
+	if math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+		seconds = sparksim.FailCap
+	} else if seconds < 0 {
+		seconds = 0
+	}
+	return math.Log1p(seconds)
+}
 
-// SecondsOf inverts LabelOf.
+// SecondsOf inverts LabelOf. A NaN label yields NaN — callers that must be
+// NaN-safe (PredictSeconds) clamp the result.
 func SecondsOf(label float64) float64 { return math.Expm1(label) }
 
 // Encoder caches per-stage encodings (token ids, DAG matrices) so repeated
@@ -151,6 +172,7 @@ func (e *Encoder) Encode(inst *instrument.StageInstance) *Encoded {
 		Dense:      feature.DenseFeatures(inst),
 		Y:          LabelOf(inst.Seconds),
 		Weight:     1,
+		Censored:   inst.Failed,
 	}
 }
 
@@ -214,26 +236,100 @@ func (m *NECS) Predict(x *Encoded) float64 {
 	return out.Scalar()
 }
 
-// PredictSeconds returns the predicted stage time in seconds, clamped to be
-// non-negative (execution time cannot be negative, whatever the regressor
-// extrapolates).
+// maxPredictSeconds caps what the regressor may claim: far beyond any real
+// execution time, but finite, so downstream ranking arithmetic (sums,
+// sorts, ETR) never sees ±Inf or NaN.
+const maxPredictSeconds = 1e12
+
+// PredictSeconds returns the predicted stage time in seconds, clamped into
+// [0, maxPredictSeconds]. A NaN prediction (a corrupted or diverged model)
+// maps to the upper clamp: an un-rankable candidate is treated as the worst
+// possible one instead of poisoning every comparison it appears in.
 func (m *NECS) PredictSeconds(x *Encoded) float64 {
 	s := SecondsOf(m.Predict(x))
-	if s < 0 {
+	switch {
+	case math.IsNaN(s):
+		return maxPredictSeconds
+	case s < 0:
 		return 0
+	case s > maxPredictSeconds:
+		return maxPredictSeconds
 	}
 	return s
 }
 
+// trainWeight is the instance's effective weight under censoring: FailCap-
+// censored labels can be down-weighted via CensoredWeight (0 and 1 both
+// mean "no down-weighting", preserving the pre-robustness arithmetic).
+func (m *NECS) trainWeight(x *Encoded) float64 {
+	if x.Censored && m.Cfg.CensoredWeight > 0 {
+		return x.Weight * m.Cfg.CensoredWeight
+	}
+	return x.Weight
+}
+
+// snapshotParams copies every parameter tensor (rollback support).
+func (m *NECS) snapshotParams() [][]float64 {
+	ps := m.Params()
+	out := make([][]float64, len(ps))
+	for i, p := range ps {
+		out[i] = append([]float64(nil), p.Value.Data...)
+	}
+	return out
+}
+
+// restoreParams writes a snapshot back into the model.
+func (m *NECS) restoreParams(snap [][]float64) {
+	for i, p := range m.Params() {
+		copy(p.Value.Data, snap[i])
+	}
+}
+
+// paramsFinite reports whether every weight is a finite number.
+func (m *NECS) paramsFinite() bool {
+	for _, p := range m.Params() {
+		for _, v := range p.Value.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// gradsFinite reports whether every accumulated gradient is finite.
+func gradsFinite(params []*nn.Node) bool {
+	for _, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		for _, g := range p.Grad.Data {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Fit trains the model with Adam on the weighted squared error of
 // Equation 4. It reports the mean training loss of the final epoch.
+//
+// Training is poisoning-resistant: a batch whose loss or gradients are
+// non-finite (a NaN label, a diverged forward pass) is skipped instead of
+// stepped, and the weights roll back to the best finite epoch snapshot
+// whenever an epoch ends non-finite — a single poisoned sample can never
+// destroy the model. On clean data the arithmetic is unchanged.
 func (m *NECS) Fit(data []*Encoded, rng *rand.Rand) float64 {
-	opt := nn.NewAdam(m.Params(), m.Cfg.LR)
+	params := m.Params()
+	opt := nn.NewAdam(params, m.Cfg.LR)
 	idx := make([]int, len(data))
 	for i := range idx {
 		idx[i] = i
 	}
 	var lastLoss float64
+	bestLoss := math.Inf(1)
+	var bestSnap [][]float64
 	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
 		// Step learning-rate decay: ÷2 at 60% and 85% of the schedule.
 		switch {
@@ -252,22 +348,51 @@ func (m *NECS) Fit(data []*Encoded, rng *rand.Rand) float64 {
 			opt.ZeroGrad()
 			var batchWeight float64
 			for _, i := range idx[start:end] {
-				batchWeight += data[i].Weight
+				batchWeight += m.trainWeight(data[i])
 			}
+			if batchWeight <= 0 {
+				continue // every instance censored away
+			}
+			batchOK := true
 			for _, i := range idx[start:end] {
 				x := data[i]
+				w := m.trainWeight(x)
 				out, _ := m.Forward(x)
-				loss := nn.Scale(nn.MSELoss(out, x.Y), x.Weight/batchWeight)
+				loss := nn.Scale(nn.MSELoss(out, x.Y), w/batchWeight)
+				lv := loss.Scalar()
+				if math.IsNaN(lv) || math.IsInf(lv, 0) {
+					batchOK = false
+					break
+				}
 				nn.Backward(loss)
-				epochLoss += loss.Scalar() * batchWeight
-				epochWeight += x.Weight
+				epochLoss += lv * batchWeight
+				epochWeight += w
 			}
-			nn.ClipGrads(m.Params(), 5)
+			if !batchOK || !gradsFinite(params) {
+				// Poisoned batch: drop its gradients, keep the weights.
+				opt.ZeroGrad()
+				continue
+			}
+			nn.ClipGrads(params, 5)
 			opt.Step()
 		}
 		if epochWeight > 0 {
 			lastLoss = epochLoss / epochWeight
 		}
+		finite := !math.IsNaN(lastLoss) && !math.IsInf(lastLoss, 0) && m.paramsFinite()
+		if finite && lastLoss < bestLoss {
+			bestLoss = lastLoss
+			bestSnap = m.snapshotParams()
+		} else if !finite && bestSnap != nil {
+			// The epoch diverged anyway (e.g. weights went non-finite
+			// between checks): roll back to the best known state.
+			m.restoreParams(bestSnap)
+			lastLoss = bestLoss
+		}
+	}
+	if !m.paramsFinite() && bestSnap != nil {
+		m.restoreParams(bestSnap)
+		lastLoss = bestLoss
 	}
 	return lastLoss
 }

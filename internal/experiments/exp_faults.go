@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lite/internal/metrics"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// FaultsResult is the robustness study: end-to-end tuning quality (ETR) and
+// ranking quality (HR@5) of LITE versus Default and BO as transient-fault
+// intensity rises. The interesting question is whether LITE degrades
+// gracefully — ETR shrinking smoothly with intensity — or falls off a cliff
+// because a recommendation hits the failure cap.
+type FaultsResult struct {
+	Intensities []float64
+	Apps        []string
+	Clusters    []string
+	Methods     []string
+
+	// Seconds[intensity][method][app]: actual capped execution time of the
+	// method's configuration on the large testing data in faulty cluster C.
+	Seconds map[float64]map[string]map[string]float64
+	// ETR[intensity][method]: mean ETR over apps (t_min across methods).
+	ETR map[float64]map[string]float64
+	// HR5[intensity][cluster]: mean HR@5 of NECS ranking on the cluster's
+	// validation-size gold cases under that fault intensity.
+	HR5 map[float64]map[string]float64
+	// Tiers[intensity][app]: which RecommendSafe degradation tier served
+	// LITE's answer.
+	Tiers map[float64]map[string]string
+}
+
+// faultApps picks up to three applications, the first of each workload
+// family in suite order, so the study spans ML, graph, and MapReduce
+// behavior without running the full 15-app grid at every intensity.
+func faultApps(s *Suite) []*workload.App {
+	seen := map[string]bool{}
+	var out []*workload.App
+	for _, a := range s.Apps {
+		if seen[a.Spec.Family] {
+			continue
+		}
+		seen[a.Spec.Family] = true
+		out = append(out, a)
+		if len(out) == 3 {
+			break
+		}
+	}
+	return out
+}
+
+// Faults runs the robustness study. Intensity 0 is the fault-free baseline
+// (ScaledFaults returns nil there, so the simulator takes its original code
+// path); 1.0 is the full ScaledFaults profile.
+func Faults(s *Suite) *FaultsResult {
+	tuner := s.Tuner()
+	apps := faultApps(s)
+	res := &FaultsResult{
+		Intensities: []float64{0, 0.3, 0.6, 1.0},
+		Methods:     []string{"Default", "BO", "LITE"},
+		Seconds:     map[float64]map[string]map[string]float64{},
+		ETR:         map[float64]map[string]float64{},
+		HR5:         map[float64]map[string]float64{},
+		Tiers:       map[float64]map[string]string{},
+	}
+	for _, a := range apps {
+		res.Apps = append(res.Apps, a.Spec.Name)
+	}
+	for _, cl := range sparksim.AllClusters {
+		res.Clusters = append(res.Clusters, cl.Name)
+	}
+
+	for ii, in := range res.Intensities {
+		faults := sparksim.ScaledFaults(in, s.Opts.Seed)
+		res.Seconds[in] = map[string]map[string]float64{}
+		res.Tiers[in] = map[string]string{}
+		for _, m := range res.Methods {
+			res.Seconds[in][m] = map[string]float64{}
+		}
+
+		// End-to-end tuning on the large testing data in faulty cluster C
+		// (the Table VI setting with faults switched on).
+		env := sparksim.ClusterC.WithFaults(faults)
+		for ai, app := range apps {
+			data := app.Spec.MakeData(app.Sizes.Test)
+
+			defSec := sparksim.Simulate(app.Spec, data, env, sparksim.DefaultConfig()).Seconds
+			res.Seconds[in]["Default"][app.Spec.Name] = capSeconds(defSec)
+
+			bo := NewBOTuner(s)
+			tr := bo.Tune(app, data, env, s.Opts.TuningBudgetSeconds, s.rng(int64(900+ii*40+ai)))
+			res.Seconds[in]["BO"][app.Spec.Name] = capSeconds(tr.BestSeconds)
+
+			rec, err := tuner.RecommendSafe(app.Spec, data, env)
+			if err != nil {
+				res.Seconds[in]["LITE"][app.Spec.Name] = sparksim.FailCap
+				res.Tiers[in][app.Spec.Name] = "error"
+				continue
+			}
+			actual := sparksim.Simulate(app.Spec, data, env, rec.Config).Seconds
+			res.Seconds[in]["LITE"][app.Spec.Name] = capSeconds(actual)
+			res.Tiers[in][app.Spec.Name] = string(rec.Tier)
+		}
+
+		// ETR with t_min across the three methods, averaged over apps.
+		res.ETR[in] = map[string]float64{}
+		for _, app := range res.Apps {
+			tDef := res.Seconds[in]["Default"][app]
+			tMin := tDef
+			for _, m := range res.Methods {
+				if t := res.Seconds[in][m][app]; t < tMin {
+					tMin = t
+				}
+			}
+			for _, m := range res.Methods {
+				res.ETR[in][m] += metrics.ETR(tDef, res.Seconds[in][m][app], tMin)
+			}
+		}
+		for _, m := range res.Methods {
+			res.ETR[in][m] /= float64(len(res.Apps))
+		}
+
+		// Ranking quality: HR@5 of the NECS ranking over gold candidate
+		// sets executed under the same faulty environment, per cluster.
+		res.HR5[in] = map[string]float64{}
+		for ci, cl := range sparksim.AllClusters {
+			fenv := cl.WithFaults(faults)
+			rng := s.rng(int64(950 + ii*40 + ci))
+			var hr float64
+			for _, app := range apps {
+				gc := s.GoldRanking(app, app.Sizes.Valid, fenv, s.Opts.GoldCandidates, rng)
+				scores := make([]float64, len(gc.Configs))
+				for i, cfg := range gc.Configs {
+					scores[i] = tuner.Model.PredictApp(app.Spec, gc.Data, fenv, cfg)
+				}
+				hr += metrics.HRAtK(metrics.RankByScore(scores), metrics.RankByScore(gc.Actual), 5)
+			}
+			res.HR5[in][cl.Name] = hr / float64(len(apps))
+		}
+	}
+	return res
+}
+
+// Format renders the robustness tables.
+func (r *FaultsResult) Format() string {
+	var b strings.Builder
+
+	t := NewTable("Fault robustness: actual execution time (s), large data, faulty cluster C",
+		append([]string{"intensity \\ method·app"}, r.Apps...)...)
+	for _, in := range r.Intensities {
+		for _, m := range r.Methods {
+			row := []string{fmt.Sprintf("%.1f %s", in, m)}
+			for _, app := range r.Apps {
+				row = append(row, fmtSeconds(r.Seconds[in][m][app]))
+			}
+			t.AddRow(row...)
+		}
+	}
+	b.WriteString(t.String())
+
+	e := NewTable("\nMean ETR vs fault intensity (1.0 = best of all methods)",
+		append([]string{"intensity"}, r.Methods...)...)
+	for _, in := range r.Intensities {
+		row := []string{fmt.Sprintf("%.1f", in)}
+		for _, m := range r.Methods {
+			row = append(row, fmt.Sprintf("%.2f", r.ETR[in][m]))
+		}
+		e.AddRow(row...)
+	}
+	b.WriteString(e.String())
+
+	h := NewTable("\nNECS HR@5 vs fault intensity (validation data, faulty clusters)",
+		append([]string{"intensity"}, r.Clusters...)...)
+	for _, in := range r.Intensities {
+		row := []string{fmt.Sprintf("%.1f", in)}
+		for _, cl := range r.Clusters {
+			row = append(row, fmt.Sprintf("%.2f", r.HR5[in][cl]))
+		}
+		h.AddRow(row...)
+	}
+	b.WriteString(h.String())
+
+	b.WriteString("\nLITE serving tier per intensity:\n")
+	for _, in := range r.Intensities {
+		fmt.Fprintf(&b, "  %.1f:", in)
+		for _, app := range r.Apps {
+			fmt.Fprintf(&b, " %s=%s", app, r.Tiers[in][app])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

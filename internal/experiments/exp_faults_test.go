@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFaultsExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep is slow")
+	}
+	s := tinySuite(t)
+	s.Opts.GoldCandidates = 6
+	s.Opts.TuningBudgetSeconds = 1200
+	r := Faults(s)
+
+	if len(r.Intensities) != 4 || r.Intensities[0] != 0 {
+		t.Fatalf("intensity grid wrong: %v", r.Intensities)
+	}
+	if len(r.Apps) == 0 || len(r.Apps) > 3 {
+		t.Fatalf("app selection wrong: %v", r.Apps)
+	}
+	for _, in := range r.Intensities {
+		for _, m := range r.Methods {
+			etr := r.ETR[in][m]
+			if math.IsNaN(etr) || math.IsInf(etr, 0) {
+				t.Fatalf("ETR[%v][%s] not finite: %v", in, m, etr)
+			}
+			if etr > 1.0001 {
+				t.Fatalf("ETR[%v][%s] above 1: %v", in, m, etr)
+			}
+			for _, app := range r.Apps {
+				sec := r.Seconds[in][m][app]
+				if sec <= 0 || math.IsNaN(sec) {
+					t.Fatalf("Seconds[%v][%s][%s] = %v", in, m, app, sec)
+				}
+			}
+		}
+		for _, cl := range r.Clusters {
+			hr := r.HR5[in][cl]
+			if hr < 0 || hr > 1 {
+				t.Fatalf("HR5[%v][%s] = %v outside [0,1]", in, cl, hr)
+			}
+		}
+		for _, app := range r.Apps {
+			if r.Tiers[in][app] == "" {
+				t.Fatalf("no serving tier recorded for %s at intensity %v", app, in)
+			}
+		}
+	}
+
+	out := r.Format()
+	for _, want := range []string{"Mean ETR", "HR@5", "serving tier"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultAppsOnePerFamily(t *testing.T) {
+	s := tinySuite(t)
+	apps := faultApps(s)
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a.Spec.Family] {
+			t.Fatalf("family %s selected twice", a.Spec.Family)
+		}
+		seen[a.Spec.Family] = true
+	}
+}

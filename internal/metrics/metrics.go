@@ -75,8 +75,22 @@ func NDCGAtK(predicted, gold []int, k int) float64 {
 }
 
 // RankByScore returns candidate indices ordered by ascending score
-// (execution time: lower is better first).
+// (execution time: lower is better first). NaN scores rank last — a
+// candidate a broken estimator cannot score must never be declared best.
 func RankByScore(scores []float64) []int {
+	for _, s := range scores {
+		if math.IsNaN(s) {
+			clean := make([]float64, len(scores))
+			for i, v := range scores {
+				if math.IsNaN(v) {
+					clean[i] = math.Inf(1)
+				} else {
+					clean[i] = v
+				}
+			}
+			return stats.Argsort(clean)
+		}
+	}
 	return stats.Argsort(scores)
 }
 

@@ -24,6 +24,16 @@ type StageResult struct {
 	SpillRatio float64
 	Waves      int
 	Tasks      int
+
+	// Recovery counters, nonzero only under an active FaultProfile:
+	// Attempts counts stage attempts (1 = no fetch-failure reattempt),
+	// TasksRetried the transiently failed and re-run tasks, Speculative
+	// the speculative backup copies launched, ExecutorsLost the executors
+	// lost while the stage ran.
+	Attempts      int
+	TasksRetried  int
+	Speculative   int
+	ExecutorsLost int
 }
 
 // Result is the outcome of one simulated application run.
@@ -37,11 +47,25 @@ type Result struct {
 	CacheHitRatio float64
 	Executors     int
 	Slots         int
+
+	// Run-level recovery totals (sums of the per-stage counters); all zero
+	// when the environment injects no faults.
+	TasksRetried        int
+	StagesReattempted   int
+	SpeculativeLaunched int
+	ExecutorsLost       int
 }
 
 // Metrics summarizes the run as the "inner status of Spark" vector the
 // DDPG baselines observe (QTune-style state): resource allocation, memory
 // pressure, shuffle volume and parallelism utilization.
+//
+// The vector is frozen at MetricsLen entries: the fault-recovery counters
+// are deliberately NOT part of it, because its width determines the DDPG
+// networks' shapes and changing it would silently alter every RL baseline's
+// weight initialization (breaking reproducibility of the seed experiments).
+// Consumers that want the recovery picture use FaultCounters(), and the
+// event-log round-trip carries the counters faithfully.
 func (r *Result) Metrics() []float64 {
 	var spill, shuffle, waves float64
 	for _, s := range r.Stages {
@@ -282,7 +306,7 @@ func Simulate(app *AppSpec, data DataSpec, env Environment, cfg Config) Result {
 		// variance without breaking reproducibility.
 		stageSec *= 1 + 0.03*jitter(app.Name, env.Name, si, seqIdx, cfg, data.SizeMB)
 
-		res.Stages = append(res.Stages, StageResult{
+		sr := StageResult{
 			StageIndex: si,
 			Seconds:    stageSec,
 			InputMB:    inMB,
@@ -290,7 +314,51 @@ func Simulate(app *AppSpec, data DataSpec, env Environment, cfg Config) Result {
 			SpillRatio: spillRatio,
 			Waves:      int(waves),
 			Tasks:      int(parts),
-		})
+			Attempts:   1,
+		}
+
+		// Transient-fault injection with Spark's recovery semantics; inert
+		// (and skipped entirely) unless the environment carries an active
+		// FaultProfile, so fault-free runs are bit-for-bit unchanged.
+		if env.Faults.Active() {
+			fi := env.Faults.injectStage(stageExposure{
+				App:         app,
+				Env:         env,
+				Cfg:         cfg,
+				SizeMB:      data.SizeMB,
+				StageIndex:  si,
+				SeqIdx:      seqIdx,
+				BaseSec:     stageSec,
+				TaskSec:     cpuSec * skewFactor,
+				Parts:       parts,
+				Slots:       slots,
+				Executors:   executors,
+				ShuffleRead: srMB > 0,
+				LaunchSec:   launchPerTask,
+			})
+			res.TasksRetried += fi.TasksRetried
+			res.StagesReattempted += fi.Reattempts
+			res.SpeculativeLaunched += fi.Speculative
+			res.ExecutorsLost += fi.ExecutorsLost
+			if fi.Fatal {
+				// Same shape as every other failed run (failResult), with
+				// the recovery work done so far preserved in the counters.
+				fr := failResult(app, fi.FatalReason)
+				fr.TasksRetried = res.TasksRetried
+				fr.StagesReattempted = res.StagesReattempted
+				fr.SpeculativeLaunched = res.SpeculativeLaunched
+				fr.ExecutorsLost = res.ExecutorsLost
+				return fr
+			}
+			stageSec += fi.ExtraSec
+			sr.Seconds = stageSec
+			sr.Attempts = 1 + fi.Reattempts
+			sr.TasksRetried = fi.TasksRetried
+			sr.Speculative = fi.Speculative
+			sr.ExecutorsLost = fi.ExecutorsLost
+		}
+
+		res.Stages = append(res.Stages, sr)
 		res.Seconds += stageSec
 		if res.Seconds > FailCap {
 			res.Seconds = FailCap

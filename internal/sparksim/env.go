@@ -10,6 +10,21 @@ type Environment struct {
 	MemGB       float64 // memory size per node
 	MemSpeedMTs float64 // memory speed (MT/s)
 	NetGbps     float64 // network bandwidth connecting the cluster
+
+	// Faults optionally injects transient failures (executor loss, task
+	// failures, fetch failures, stragglers) into every run on this
+	// environment. nil — and any profile whose rates are all zero — leaves
+	// the simulator bit-for-bit identical to the fault-free cost model.
+	// Faults are an operational property of the cluster, not part of the
+	// six-dimensional environment feature e_i, so Features() ignores it.
+	Faults *FaultProfile
+}
+
+// WithFaults returns a copy of the environment with the fault profile
+// attached (nil detaches it).
+func (e Environment) WithFaults(p *FaultProfile) Environment {
+	e.Faults = p
+	return e
 }
 
 // The three evaluation clusters of Table III.

@@ -33,6 +33,18 @@ type Event struct {
 	ShuffleMB   float64  `json:"Shuffle Write MB,omitempty"`
 	DurationSec float64  `json:"Duration Sec,omitempty"`
 
+	// Recovery counters on StageCompleted (faulty runs only; all zero —
+	// and omitted from the JSON — on fault-free runs, so fault-free logs
+	// are byte-identical to logs written before fault injection existed).
+	// Attempts counts stage attempts; 1 (the fault-free value) is encoded
+	// as an omitted field and restored by ParseEventLog.
+	Attempts     int `json:"Stage Attempts,omitempty"`
+	TasksRetried int `json:"Tasks Retried,omitempty"`
+	Speculative  int `json:"Speculative Tasks,omitempty"`
+
+	// SparkListenerExecutorRemoved (EventExecutorLost).
+	ExecutorReason string `json:"Removed Reason,omitempty"`
+
 	// SparkListenerEnvironmentUpdate.
 	Config map[string]string `json:"Spark Properties,omitempty"`
 
@@ -49,6 +61,9 @@ const (
 	EventStageSubmitted    = "SparkListenerStageSubmitted"
 	EventStageCompleted    = "SparkListenerStageCompleted"
 	EventApplicationEnd    = "SparkListenerApplicationEnd"
+	// EventExecutorLost is emitted once per executor lost to fault
+	// injection while a stage ran (Spark's listener-bus name).
+	EventExecutorLost = "SparkListenerExecutorRemoved"
 )
 
 // WriteEventLog renders a simulated run as an event log: application
@@ -86,12 +101,32 @@ func WriteEventLog(w io.Writer, app *AppSpec, data DataSpec, env Environment, cf
 		}); err != nil {
 			return err
 		}
+		// Executors lost while the stage ran surface as removal events
+		// between its submission and completion, as on a real listener bus.
+		for x := 0; x < sr.ExecutorsLost; x++ {
+			if err := emit(Event{
+				Type: EventExecutorLost, StageID: sid,
+				ExecutorReason: "fault injection: executor lost",
+				Timestamp:      clock + sr.Seconds/2,
+			}); err != nil {
+				return err
+			}
+		}
 		clock += sr.Seconds
+		// Attempts encodes only the faulty case: 1 (fault-free) is omitted
+		// from the JSON so fault-free logs stay byte-identical to logs
+		// written before fault injection existed.
+		attempts := sr.Attempts
+		if attempts <= 1 {
+			attempts = 0
+		}
 		if err := emit(Event{
 			Type: EventStageCompleted, StageID: sid, StageName: st.Name,
 			StageIndex: sr.StageIndex, NumTasks: sr.Tasks,
 			InputMB: sr.InputMB, ShuffleMB: sr.ShuffleMB,
 			DurationSec: sr.Seconds, Timestamp: clock,
+			Attempts: attempts, TasksRetried: sr.TasksRetried,
+			Speculative: sr.Speculative,
 		}); err != nil {
 			return err
 		}
@@ -113,6 +148,9 @@ type ParsedLog struct {
 	Failed  bool
 	Reason  string
 	Total   float64
+	// Counters reconstructs the run's recovery totals from the per-stage
+	// counters and the executor-removal events.
+	Counters FaultCounters
 }
 
 // ParsedStage is one completed stage from the log.
@@ -126,6 +164,10 @@ type ParsedStage struct {
 	InputMB    float64
 	ShuffleMB  float64
 	Seconds    float64
+	// Recovery counters (Attempts is 1 for fault-free stages).
+	Attempts     int
+	TasksRetried int
+	Speculative  int
 }
 
 // ParseEventLog reconstructs the stage-level view from an event log.
@@ -164,8 +206,19 @@ func ParseEventLog(r io.Reader) (*ParsedLog, error) {
 			if ps.Tasks == 0 {
 				ps.Tasks = e.NumTasks
 			}
+			ps.Attempts = e.Attempts
+			if ps.Attempts == 0 {
+				ps.Attempts = 1 // omitted in fault-free logs
+			}
+			ps.TasksRetried = e.TasksRetried
+			ps.Speculative = e.Speculative
+			out.Counters.TasksRetried += e.TasksRetried
+			out.Counters.StagesReattempted += ps.Attempts - 1
+			out.Counters.SpeculativeLaunched += e.Speculative
 			out.Stages = append(out.Stages, *ps)
 			delete(pending, e.StageID)
+		case EventExecutorLost:
+			out.Counters.ExecutorsLost++
 		case EventApplicationEnd:
 			out.Failed = e.Failed
 			out.Reason = e.FailReason

@@ -1,0 +1,287 @@
+package sparksim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// FaultProfile injects transient faults into simulated runs, modeling the
+// failure modes a physical Spark cluster exhibits (the paper's testbed is
+// three real clusters, where executor loss, fetch failures and stragglers
+// shape the execution times LITE learns from). All injection is driven by
+// seeded hashing of the run identity, so a given (profile, app, env, config,
+// data) tuple always produces the same faults: the simulator stays fully
+// reproducible, faults included.
+//
+// Spark's own recovery machinery is modeled alongside the faults:
+//
+//   - transient task failures are retried up to MaxTaskFailures
+//     (spark.task.maxFailures, default 4); a task that exhausts its
+//     attempts aborts the whole run;
+//   - shuffle fetch failures trigger stage reattempts (map-output
+//     regeneration plus a partial re-run), up to MaxStageAttempts
+//     (spark.stage.maxConsecutiveAttempts, default 4);
+//   - a lost executor forces recomputation of the task wave it was running
+//     and a replacement-acquisition delay;
+//   - stragglers are mitigated by speculative execution
+//     (spark.speculation): a backup copy caps the tail latency the slow
+//     task would otherwise impose.
+type FaultProfile struct {
+	// TaskFailureProb is the per-task probability of a transient failure
+	// (e.g. a flaky disk read or an OOM-killed JVM that recovers on retry).
+	TaskFailureProb float64
+	// ExecutorLossRate scales the probability of losing one executor during
+	// a stage (preemption, hardware fault); exposure grows with stage
+	// duration and executor count.
+	ExecutorLossRate float64
+	// FetchFailureRate is the per-attempt probability that a shuffle-read
+	// stage hits a fetch failure and must be reattempted.
+	FetchFailureRate float64
+	// StragglerProb is the per-stage probability that one task straggles.
+	StragglerProb float64
+	// StragglerMult is how many times slower a straggling task runs
+	// (values below 1 are treated as 1: no slowdown).
+	StragglerMult float64
+
+	// MaxTaskFailures mirrors spark.task.maxFailures (0 means 4).
+	MaxTaskFailures int
+	// MaxStageAttempts mirrors spark.stage.maxConsecutiveAttempts
+	// (0 means 4).
+	MaxStageAttempts int
+
+	// Seed decorrelates fault draws between otherwise identical runs:
+	// two profiles with different seeds fail in different places, two with
+	// the same seed fail identically.
+	Seed int64
+}
+
+// ScaledFaults returns a profile whose rates grow linearly with intensity
+// (the knob the fault experiments sweep). Intensity 0 returns nil: no
+// profile, and Simulate takes the exact code path it took before fault
+// injection existed.
+func ScaledFaults(intensity float64, seed int64) *FaultProfile {
+	if intensity <= 0 {
+		return nil
+	}
+	return &FaultProfile{
+		TaskFailureProb:  0.02 * intensity,
+		ExecutorLossRate: 0.05 * intensity,
+		FetchFailureRate: 0.08 * intensity,
+		StragglerProb:    0.25 * intensity,
+		StragglerMult:    4 + 2*intensity,
+		MaxTaskFailures:  4,
+		MaxStageAttempts: 4,
+		Seed:             seed,
+	}
+}
+
+// Active reports whether the profile injects anything. A nil or all-zero
+// profile is inactive and leaves Simulate's behavior bit-for-bit identical
+// to a run without one.
+func (p *FaultProfile) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.TaskFailureProb > 0 || p.ExecutorLossRate > 0 ||
+		p.FetchFailureRate > 0 || p.StragglerProb > 0
+}
+
+// Reseeded returns a copy with the seed shifted by delta (nil stays nil).
+// Robust data collection uses it to make repeat runs of a flaky instance
+// fail in different places while staying deterministic overall.
+func (p *FaultProfile) Reseeded(delta int64) *FaultProfile {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	q.Seed += delta
+	return &q
+}
+
+func (p *FaultProfile) maxTaskFailures() int {
+	if p.MaxTaskFailures <= 0 {
+		return 4
+	}
+	return p.MaxTaskFailures
+}
+
+func (p *FaultProfile) maxStageAttempts() int {
+	if p.MaxStageAttempts <= 0 {
+		return 4
+	}
+	return p.MaxStageAttempts
+}
+
+// uniform returns a deterministic pseudo-random value in [0,1) keyed on the
+// profile seed, the run identity and a draw label, in the same quantized
+// style as the cost model's jitter (nearby float knob values share draws,
+// keeping response surfaces smooth under faults too).
+func (p *FaultProfile) uniform(kind string, appName, envName string, seqIdx, attempt int, cfg Config, sizeMB float64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%s|%d|%d|%.0f", p.Seed, kind, appName, envName, seqIdx, attempt, sizeMB)
+	for _, v := range cfg {
+		fmt.Fprintf(h, "|%.2f", v)
+	}
+	return float64(h.Sum64()%1000000) / 1000000
+}
+
+// stageExposure carries the cost-model quantities the fault model needs to
+// translate an injected fault into recovery work.
+type stageExposure struct {
+	App    *AppSpec
+	Env    Environment
+	Cfg    Config
+	SizeMB float64
+
+	StageIndex int // index into App.Stages
+	SeqIdx     int // position in the expanded plan
+	// BaseSec is the fault-free stage time; TaskSec the per-task(-wave)
+	// compute time including skew.
+	BaseSec float64
+	TaskSec float64
+
+	Parts     float64
+	Slots     float64
+	Executors float64
+	// ShuffleRead marks stages that fetch map outputs over the network.
+	ShuffleRead bool
+	// LaunchSec is the scheduler's per-task launch overhead.
+	LaunchSec float64
+}
+
+// stageFaults is what fault injection did to one stage: the extra seconds
+// Spark's recovery machinery spent, the per-stage counters, and — when
+// recovery was exhausted — a fatal abort reason.
+type stageFaults struct {
+	ExtraSec      float64
+	TasksRetried  int
+	Reattempts    int
+	Speculative   int
+	ExecutorsLost int
+	// Fatal aborts the run (task or stage retry budget exhausted).
+	Fatal       bool
+	FatalReason string
+}
+
+// injectStage applies the fault model to one stage execution. It is a pure
+// function of the profile and the exposure: calling it twice returns the
+// same outcome.
+func (p *FaultProfile) injectStage(e stageExposure) stageFaults {
+	var out stageFaults
+	if !p.Active() {
+		return out
+	}
+	st := &e.App.Stages[e.StageIndex]
+	appName, envName := e.App.Name, e.Env.Name
+	signed := func(kind string) float64 { // in [-1, 1)
+		return 2*p.uniform(kind, appName, envName, e.SeqIdx, 0, e.Cfg, e.SizeMB) - 1
+	}
+
+	// --- Transient task failures, retried up to spark.task.maxFailures ---
+	if q := p.TaskFailureProb; q > 0 && q < 1 {
+		// Each task retries geometrically: q/(1-q) expected extra attempts.
+		expected := e.Parts * q / (1 - q)
+		retried := int(math.Round(expected * (1 + 0.25*signed("task-retry"))))
+		if retried < 0 {
+			retried = 0
+		}
+		if retried > 0 {
+			out.TasksRetried += retried
+			// Re-executions fill free slots and pay the launch overhead again.
+			out.ExtraSec += float64(retried)/e.Slots*e.TaskSec + float64(retried)*e.LaunchSec
+		}
+		// Probability some task exhausts all attempts and aborts the run.
+		pAbort := e.Parts * math.Pow(q, float64(p.maxTaskFailures()))
+		if pAbort > 0.95 {
+			pAbort = 0.95
+		}
+		if p.uniform("task-abort", appName, envName, e.SeqIdx, 0, e.Cfg, e.SizeMB) < pAbort {
+			out.Fatal = true
+			out.FatalReason = fmt.Sprintf("stage %q: task failed %d times (spark.task.maxFailures exceeded)",
+				st.Name, p.maxTaskFailures())
+			return out
+		}
+	}
+
+	// --- Shuffle fetch failures: stage reattempts ---
+	if e.ShuffleRead && p.FetchFailureRate > 0 {
+		attempts := 0
+		for attempts < p.maxStageAttempts() {
+			if p.uniform("fetch", appName, envName, e.SeqIdx, attempts, e.Cfg, e.SizeMB) >= p.FetchFailureRate {
+				break
+			}
+			attempts++
+		}
+		if attempts >= p.maxStageAttempts() {
+			out.Fatal = true
+			out.FatalReason = fmt.Sprintf("stage %q aborted: fetch failure persisted across %d stage attempts",
+				st.Name, p.maxStageAttempts())
+			return out
+		}
+		if attempts > 0 {
+			out.Reattempts = attempts
+			// Each reattempt re-runs the reduce side after regenerating the
+			// lost map outputs: a 60–80% partial re-execution.
+			frac := 0.6 + 0.2*p.uniform("fetch-cost", appName, envName, e.SeqIdx, attempts, e.Cfg, e.SizeMB)
+			out.ExtraSec += float64(attempts) * frac * e.BaseSec
+		}
+	}
+
+	// --- Executor loss: wave recomputation + replacement delay ---
+	if p.ExecutorLossRate > 0 && e.Executors > 0 {
+		// Exposure grows with executor count and stage duration
+		// (executor-minutes at risk), saturating via 1-exp(-x).
+		x := p.ExecutorLossRate * e.Executors * e.BaseSec / 600
+		pLoss := 1 - math.Exp(-x)
+		if p.uniform("exec-loss", appName, envName, e.SeqIdx, 0, e.Cfg, e.SizeMB) < pLoss {
+			out.ExecutorsLost = 1
+			// The lost executor's share of the running wave is recomputed,
+			// its shuffle outputs regenerated, and a replacement acquired.
+			share := e.Parts / e.Executors
+			out.ExtraSec += share/e.Slots*e.TaskSec + 0.15*e.BaseSec + 2.0
+		}
+	}
+
+	// --- Stragglers, mitigated by speculative execution ---
+	if p.StragglerProb > 0 {
+		if p.uniform("straggler", appName, envName, e.SeqIdx, 0, e.Cfg, e.SizeMB) < p.StragglerProb {
+			mult := p.StragglerMult
+			if mult < 1 {
+				mult = 1
+			}
+			// Without speculation the stage tail would stretch by
+			// (mult-1)×task time; the speculative copy caps the tail at one
+			// extra task time plus its launch cost.
+			tail := (mult - 1) * e.TaskSec
+			capped := e.TaskSec + 0.1
+			if tail > capped {
+				tail = capped
+				out.Speculative = 1
+			}
+			out.ExtraSec += tail
+		}
+	}
+
+	return out
+}
+
+// FaultCounters aggregates the recovery work a run performed. It is the
+// machine-readable companion of Result's counter fields, used by the event
+// log round-trip and the fault experiments.
+type FaultCounters struct {
+	TasksRetried        int
+	StagesReattempted   int
+	SpeculativeLaunched int
+	ExecutorsLost       int
+}
+
+// FaultCounters returns the run's recovery counters.
+func (r *Result) FaultCounters() FaultCounters {
+	return FaultCounters{
+		TasksRetried:        r.TasksRetried,
+		StagesReattempted:   r.StagesReattempted,
+		SpeculativeLaunched: r.SpeculativeLaunched,
+		ExecutorsLost:       r.ExecutorsLost,
+	}
+}

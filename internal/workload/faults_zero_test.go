@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lite/internal/sparksim"
+)
+
+// A zero-intensity fault profile attached to the environment must leave the
+// simulation of every one of the 15 workloads bit-for-bit identical to a run
+// with no profile: the fault machinery must be provably inert when off.
+func TestZeroIntensityFaultsBitForBitOnAllWorkloads(t *testing.T) {
+	zero := &sparksim.FaultProfile{Seed: 7, MaxTaskFailures: 4, MaxStageAttempts: 4}
+	rng := rand.New(rand.NewSource(11))
+	for _, app := range All() {
+		data := app.Spec.MakeData(app.Sizes.Train[0])
+		cfgs := []sparksim.Config{sparksim.DefaultConfig(), sparksim.RandomConfig(rng)}
+		for _, env := range sparksim.AllClusters {
+			for ci, cfg := range cfgs {
+				plain := sparksim.Simulate(app.Spec, data, env, cfg)
+				faulted := sparksim.Simulate(app.Spec, data, env.WithFaults(zero), cfg)
+				if !reflect.DeepEqual(plain, faulted) {
+					t.Fatalf("%s on cluster %s (config %d): zero-intensity profile changed the result",
+						app.Spec.Name, env.Name, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestByNameCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"WordCount", "wordcount", "WORDCOUNT", "wc", "WC"} {
+		if got := ByName(name); got == nil || got.Spec.Name != "WordCount" {
+			t.Fatalf("ByName(%q) failed to find WordCount", name)
+		}
+	}
+	if ByName("no-such-app") != nil {
+		t.Fatal("unknown name must return nil")
+	}
+}

@@ -56,9 +56,11 @@ func Names() []string {
 }
 
 // ByName returns the application with the given name or abbreviation.
+// Matching is case-insensitive so CLI lookups accept "wordcount", name,
+// or abbreviation spellings interchangeably.
 func ByName(name string) *App {
 	for _, a := range registry {
-		if a.Spec.Name == name || a.Spec.Abbrev == name {
+		if strings.EqualFold(a.Spec.Name, name) || strings.EqualFold(a.Spec.Abbrev, name) {
 			return a
 		}
 	}

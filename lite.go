@@ -38,8 +38,18 @@ type (
 	TrainOptions = core.TrainOptions
 	// Recommendation is the result of one online tuning request.
 	Recommendation = core.Recommendation
+	// SafeRecommendation is a Recommendation annotated with the
+	// graceful-degradation tier that produced it (see Tuner.RecommendSafe).
+	SafeRecommendation = core.SafeRecommendation
+	// Tier names one level of RecommendSafe's degradation chain.
+	Tier = core.Tier
 	// Dataset is a collected offline training set.
 	Dataset = core.Dataset
+
+	// FaultProfile injects deterministic transient faults (executor loss,
+	// task failures, fetch failures, stragglers) into simulated runs when
+	// attached to an Environment.
+	FaultProfile = sparksim.FaultProfile
 
 	// Config is a point in the 16-knob configuration space (Table IV).
 	Config = sparksim.Config
@@ -83,4 +93,11 @@ func DefaultConfig() Config { return sparksim.DefaultConfig() }
 // returns its (deterministic) execution result.
 func Simulate(app *AppSpec, data DataSpec, env Environment, cfg Config) sparksim.Result {
 	return sparksim.Simulate(app, data, env, cfg)
+}
+
+// ScaledFaults builds a transient-fault profile at the given intensity
+// (0 returns nil — the fault-free simulator). Attach it with
+// Environment.WithFaults.
+func ScaledFaults(intensity float64, seed int64) *FaultProfile {
+	return sparksim.ScaledFaults(intensity, seed)
 }
