@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench clean
+.PHONY: build test vet race verify serve-smoke bench clean
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,19 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify is the tier-1 gate: everything must compile and every test pass.
+# verify is the tier-1 gate plus the serving-stack race check: everything
+# must compile, every test pass, and the concurrent read/hot-swap paths
+# must be clean under the race detector.
 verify:
-	$(GO) build ./... && $(GO) test ./...
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/serve/... ./internal/core/...
+
+# serve-smoke boots liteserve on a random port, issues one /recommend and
+# one /feedback request, and asserts both return 200.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x -timeout 45m

@@ -210,9 +210,22 @@ func cmdRecommend(args []string, alsoSimulate bool) {
 		size = app.Sizes.Test
 	}
 
+	// Without -model, fall back to a default model file in the working
+	// directory (the 'lite train' default output first) before retraining.
+	path := *modelPath
+	if path == "" {
+		for _, candidate := range []string{"lite-tuner.json", "lite.model"} {
+			if _, err := os.Stat(candidate); err == nil {
+				path = candidate
+				fmt.Fprintf(os.Stderr, "using default model file %s (pass -model to override)\n", path)
+				break
+			}
+		}
+	}
+
 	var tuner *core.Tuner
-	if *modelPath != "" {
-		f, err := os.Open(*modelPath)
+	if path != "" {
+		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -223,8 +236,9 @@ func cmdRecommend(args []string, alsoSimulate bool) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		fmt.Fprintf(os.Stderr, "loaded tuner from %s\n", path)
 	} else {
-		fmt.Fprintf(os.Stderr, "training LITE (offline phase, %d configs per instance)…\n", *configs)
+		fmt.Fprintf(os.Stderr, "no saved model found, training from scratch (offline phase, %d configs per instance)…\n", *configs)
 		opts := core.DefaultTrainOptions()
 		opts.Collect.ConfigsPerInstance = *configs
 		opts.Seed = *seed

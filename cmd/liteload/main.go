@@ -1,0 +1,291 @@
+// Command liteload is the load generator for the LITE recommendation
+// service. By default it trains one model, then benchmarks the serving
+// stack twice over identical repeated-key traffic — once with the cache
+// and micro-batcher disabled (baseline) and once enabled — and reports
+// p50/p99 latency, throughput, cache hit rate and inference batch sizes,
+// demonstrating the win on repeated-key traffic.
+//
+// Usage:
+//
+//	liteload                          # in-process A/B benchmark
+//	liteload -n 2000 -c 32 -keys 6
+//	liteload -url http://127.0.0.1:8372   # drive a running liteserve
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"lite/internal/core"
+	"lite/internal/serve"
+	"lite/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 400, "total recommend requests per pass")
+	c := flag.Int("c", 16, "concurrent workers")
+	keys := flag.Int("keys", 8, "distinct (app,size,cluster) keys in the traffic")
+	seed := flag.Int64("seed", 1, "random seed (traffic shape and training)")
+	configs := flag.Int("configs", 3, "training configurations per instance (in-process mode)")
+	url := flag.String("url", "", "drive a running liteserve instead of in-process servers")
+	flag.Parse()
+
+	reqs := makeTraffic(*n, *keys, *seed)
+
+	if *url != "" {
+		res := runRemote(*url, reqs, *c)
+		printReport([]pass{{name: "remote", res: res, n: *n}})
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "training model for the benchmark…\n")
+	tuner, source := trainQuick(*configs, *seed)
+
+	baseline := serve.New(tuner.CloneForUpdate(*seed), serve.Options{
+		DisableCache:   true,
+		DisableBatcher: true,
+		SourceSample:   source,
+		Seed:           *seed,
+	})
+	baseline.Start()
+	fmt.Fprintf(os.Stderr, "pass 1/2: cache+batcher disabled (%d requests, %d workers)…\n", *n, *c)
+	resBase := runLocal(baseline, reqs, *c)
+	shutdown(baseline)
+
+	full := serve.New(tuner.CloneForUpdate(*seed), serve.Options{
+		CacheTTL:     30 * time.Second,
+		BatchMax:     16,
+		BatchWindow:  2 * time.Millisecond,
+		SourceSample: source,
+		Seed:         *seed,
+	})
+	full.Start()
+	fmt.Fprintf(os.Stderr, "pass 2/2: cache+batcher enabled…\n")
+	resFull := runLocal(full, reqs, *c)
+	shutdown(full)
+
+	printReport([]pass{
+		{name: "baseline (no cache, no batch)", res: resBase, n: *n},
+		{name: "cache + micro-batcher", res: resFull, n: *n},
+	})
+	if resBase.errors == 0 && resFull.errors == 0 && resFull.wall < resBase.wall {
+		fmt.Printf("\nthroughput win on repeated-key traffic: %.1fx\n",
+			float64(resBase.wall)/float64(resFull.wall))
+	}
+}
+
+// makeTraffic builds a deterministic repeated-key workload: keys are
+// (app, size, cluster) combos, drawn Zipf-skewed so a few keys are hot —
+// the regime the cache and batcher are built for.
+func makeTraffic(n, keys int, seed int64) []serve.RecommendRequest {
+	apps := workload.All()
+	clusters := []string{"A", "B", "C"}
+	sizes := []float64{256, 512, 1024, 2048, 4096}
+	if keys < 1 {
+		keys = 1
+	}
+	combos := make([]serve.RecommendRequest, keys)
+	for i := range combos {
+		combos[i] = serve.RecommendRequest{
+			App:     apps[i%len(apps)].Spec.Name,
+			SizeMB:  sizes[i%len(sizes)],
+			Cluster: clusters[i%len(clusters)],
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(keys-1))
+	out := make([]serve.RecommendRequest, n)
+	for i := range out {
+		out[i] = combos[zipf.Uint64()]
+	}
+	return out
+}
+
+func trainQuick(configs int, seed int64) (*core.Tuner, []*core.Encoded) {
+	opts := core.DefaultTrainOptions()
+	opts.Collect.ConfigsPerInstance = configs
+	opts.Collect.Sizes = []int{0, 1}
+	opts.Seed = seed
+	tuner, ds := core.Train(workload.All(), opts)
+	encoded := core.EncodeAll(tuner.Model.Encoder, ds.Instances)
+	if len(encoded) > 256 {
+		encoded = encoded[:256]
+	}
+	return tuner, encoded
+}
+
+type runResult struct {
+	lats      []time.Duration
+	wall      time.Duration
+	errors    int
+	cached    int
+	coalesced int
+	batchMax  int
+	batchSum  int
+	batchN    int
+}
+
+func runLocal(s *serve.Server, reqs []serve.RecommendRequest, workers int) runResult {
+	var mu sync.Mutex
+	res := runResult{}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t0 := time.Now()
+				resp, err := s.Recommend(reqs[i])
+				lat := time.Since(t0)
+				mu.Lock()
+				res.lats = append(res.lats, lat)
+				if err != nil {
+					res.errors++
+				} else {
+					record(&res, resp)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	res.wall = time.Since(start)
+	return res
+}
+
+func runRemote(url string, reqs []serve.RecommendRequest, workers int) runResult {
+	var mu sync.Mutex
+	res := runResult{}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				body, _ := json.Marshal(reqs[i])
+				t0 := time.Now()
+				httpRes, err := client.Post(url+"/recommend", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				var resp serve.RecommendResponse
+				ok := err == nil && httpRes.StatusCode == http.StatusOK
+				if err == nil {
+					if ok {
+						ok = json.NewDecoder(httpRes.Body).Decode(&resp) == nil
+					}
+					httpRes.Body.Close()
+				}
+				mu.Lock()
+				res.lats = append(res.lats, lat)
+				if !ok {
+					res.errors++
+				} else {
+					record(&res, resp)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	res.wall = time.Since(start)
+	return res
+}
+
+// record folds one response into the result (caller holds the mutex).
+func record(res *runResult, resp serve.RecommendResponse) {
+	if resp.Cached {
+		res.cached++
+	}
+	if resp.Coalesced {
+		res.coalesced++
+	}
+	if resp.BatchSize > 0 && !resp.Cached {
+		res.batchSum += resp.BatchSize
+		res.batchN++
+		if resp.BatchSize > res.batchMax {
+			res.batchMax = resp.BatchSize
+		}
+	}
+}
+
+type pass struct {
+	name string
+	res  runResult
+	n    int
+}
+
+func printReport(passes []pass) {
+	fmt.Printf("\n%-30s %-8s %-7s %-10s %-10s %-12s %-10s %-11s %s\n",
+		"pass", "reqs", "errors", "p50", "p99", "throughput", "cache-hit", "mean-batch", "max-batch")
+	for _, p := range passes {
+		r := p.res
+		sort.Slice(r.lats, func(a, b int) bool { return r.lats[a] < r.lats[b] })
+		served := len(r.lats)
+		hitRate := 0.0
+		if served > 0 {
+			hitRate = float64(r.cached) / float64(served)
+		}
+		meanBatch := 0.0
+		if r.batchN > 0 {
+			meanBatch = float64(r.batchSum) / float64(r.batchN)
+		}
+		fmt.Printf("%-30s %-8d %-7d %-10v %-10v %-12s %-10s %-11.2f %d\n",
+			p.name, p.n, r.errors,
+			roundDur(quantile(r.lats, 0.50)),
+			roundDur(quantile(r.lats, 0.99)),
+			fmt.Sprintf("%.0f/s", float64(served)/r.wall.Seconds()),
+			fmt.Sprintf("%.0f%%", hitRate*100),
+			meanBatch, r.batchMax)
+	}
+}
+
+// roundDur rounds to ~3 significant figures so microsecond cache hits and
+// second-scale cold inferences both print readably.
+func roundDur(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond)
+	default:
+		return d
+	}
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func shutdown(s *serve.Server) {
+	done := make(chan struct{})
+	go func() { time.Sleep(30 * time.Second); close(done) }()
+	if err := s.Shutdown(done); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}

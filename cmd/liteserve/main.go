@@ -1,0 +1,161 @@
+// Command liteserve runs the LITE recommendation service: an HTTP server
+// that serves knob recommendations from an immutable model snapshot,
+// micro-batches concurrent inference, caches repeated-key answers, and
+// folds posted execution feedback back into the model with an online
+// adaptive-update loop that hot-swaps snapshots without blocking readers.
+//
+// Usage:
+//
+//	liteserve                                # train a quick model, serve on :8372
+//	liteserve -model lite-tuner.json         # serve a tuner saved by 'lite train'
+//	liteserve -addr 127.0.0.1:0 -snapshot s.json
+//
+// Endpoints:
+//
+//	POST /recommend  {"app":"PageRank","size_mb":4096,"cluster":"C"}
+//	POST /feedback   {"app":"PageRank","size_mb":4096,"cluster":"C","config":{...}}
+//	GET  /healthz
+//	GET  /metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lite/internal/core"
+	"lite/internal/serve"
+	"lite/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8372", "listen address (use :0 for a random port)")
+	modelPath := flag.String("model", "", "load a tuner saved by 'lite train' instead of training at boot")
+	configs := flag.Int("configs", 3, "training configurations per (app,size,cluster) when training at boot")
+	trainSizes := flag.Int("train-sizes", 2, "how many of the four training datasizes to collect (1-4)")
+	seed := flag.Int64("seed", 1, "random seed")
+	cacheTTL := flag.Duration("cache-ttl", 30*time.Second, "recommendation cache TTL")
+	noCache := flag.Bool("no-cache", false, "disable the recommendation cache")
+	batchMax := flag.Int("batch-max", 16, "max requests per inference micro-batch")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch latency cutoff")
+	noBatch := flag.Bool("no-batch", false, "disable inference micro-batching")
+	updateBatch := flag.Int("update-batch", 8, "feedback runs per adaptive model update")
+	snapshotPath := flag.String("snapshot", "", "persist each published model snapshot to this file")
+	sourceSampleN := flag.Int("source-sample", 256, "source-domain instances mixed into each update (0 with -model)")
+	flag.Parse()
+
+	tuner, source, err := loadOrTrain(*modelPath, *configs, *trainSizes, *seed, *sourceSampleN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	s := serve.New(tuner, serve.Options{
+		CacheTTL:       *cacheTTL,
+		DisableCache:   *noCache,
+		BatchMax:       *batchMax,
+		BatchWindow:    *batchWindow,
+		DisableBatcher: *noBatch,
+		UpdateBatch:    *updateBatch,
+		SourceSample:   source,
+		SnapshotPath:   *snapshotPath,
+		Seed:           *seed,
+	})
+	s.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Printed to stdout so scripts (make serve-smoke) can discover a
+	// randomly assigned port.
+	fmt.Printf("liteserve: listening on http://%s (generation %d)\n", ln.Addr(), s.Snapshot().Gen)
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("liteserve: %v, shutting down\n", sig)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "liteserve: %v\n", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "liteserve: http shutdown: %v\n", err)
+	}
+	if err := s.Shutdown(ctx.Done()); err != nil {
+		fmt.Fprintf(os.Stderr, "liteserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("liteserve: stopped at generation %d (%d feedbacks folded in)\n",
+		s.Snapshot().Gen, s.Snapshot().Feedbacks)
+}
+
+// loadOrTrain either loads a persisted tuner or trains one at boot with
+// reduced collection settings (serving wants a warm model quickly; a
+// production deployment passes -model).
+func loadOrTrain(modelPath string, configs, trainSizes int, seed int64, sourceN int) (*core.Tuner, []*core.Encoded, error) {
+	if modelPath != "" {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		tuner, err := core.LoadTuner(f, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("liteserve: loaded tuner from %s (updates will use target-domain feedback only)\n", modelPath)
+		return tuner, nil, nil
+	}
+
+	if trainSizes < 1 {
+		trainSizes = 1
+	}
+	if trainSizes > 4 {
+		trainSizes = 4
+	}
+	sizes := make([]int, trainSizes)
+	for i := range sizes {
+		sizes[i] = i
+	}
+	opts := core.DefaultTrainOptions()
+	opts.Collect.ConfigsPerInstance = configs
+	opts.Collect.Sizes = sizes
+	opts.Seed = seed
+	fmt.Printf("liteserve: training at boot (%d apps, %d sizes, %d configs per instance)…\n",
+		len(workload.All()), trainSizes, configs)
+	start := time.Now()
+	tuner, ds := core.Train(workload.All(), opts)
+	fmt.Printf("liteserve: trained on %d runs (%d stage instances) in %v\n",
+		len(ds.Runs), len(ds.Instances), time.Since(start).Round(time.Millisecond))
+
+	encoded := core.EncodeAll(tuner.Model.Encoder, ds.Instances)
+	source := sampleEncoded(encoded, sourceN, rand.New(rand.NewSource(seed+13)))
+	return tuner, source, nil
+}
+
+func sampleEncoded(data []*core.Encoded, n int, rng *rand.Rand) []*core.Encoded {
+	if n <= 0 || n >= len(data) {
+		return data
+	}
+	out := make([]*core.Encoded, n)
+	for i, j := range rng.Perm(len(data))[:n] {
+		out[i] = data[j]
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lite/internal/instrument"
+	"lite/internal/metrics"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// concurrencyTuner trains a deliberately tiny tuner so the -race hammer
+// tests stay fast (the race detector slows execution ~10x).
+func concurrencyTuner(t *testing.T) (*Tuner, *Dataset) {
+	t.Helper()
+	apps := []*workload.App{workload.ByName("WordCount"), workload.ByName("KMeans")}
+	opts := DefaultTrainOptions()
+	opts.Collect.ConfigsPerInstance = 2
+	opts.Collect.Sizes = []int{0}
+	opts.Collect.Clusters = []sparksim.Environment{sparksim.ClusterC}
+	opts.NECS.Epochs = 2
+	tuner, ds := Train(apps, opts)
+	tuner.NumCandidates = 6
+	return tuner, ds
+}
+
+// TestRecommendConcurrentRace hammers every read path from 16 goroutines.
+// Run with -race: the point is that concurrent recommendation shares no
+// mutable state (encoder caches and the candidate RNG are the only shared
+// writes, and both are guarded).
+func TestRecommendConcurrentRace(t *testing.T) {
+	tuner, _ := concurrencyTuner(t)
+	app := workload.ByName("WordCount")
+	env := sparksim.ClusterC
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			data := app.Spec.MakeData(app.Sizes.Train[0] * float64(1+g%3))
+			for i := 0; i < 3; i++ {
+				rec := tuner.Recommend(app.Spec, data, env)
+				if !sparksim.Feasible(rec.Config, env) {
+					t.Errorf("goroutine %d: infeasible recommendation", g)
+				}
+				sr, err := tuner.RecommendSafe(app.Spec, data, env)
+				if err != nil {
+					t.Errorf("goroutine %d: RecommendSafe: %v", g, err)
+				}
+				if sr.Tier == "" {
+					t.Errorf("goroutine %d: empty tier", g)
+				}
+				// Exercise PredictApp and ranking helpers concurrently too.
+				scores := []float64{
+					tuner.Model.PredictApp(app.Spec, data, env, sparksim.DefaultConfig()),
+					tuner.Model.PredictApp(app.Spec, data, env, rec.Config),
+				}
+				metrics.RankByScore(scores)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCollectFeedbackConcurrentWithRecommend overlaps the mutating feedback
+// path (including an in-place adaptive update) with concurrent readers.
+func TestCollectFeedbackConcurrentWithRecommend(t *testing.T) {
+	tuner, ds := concurrencyTuner(t)
+	tuner.UpdateBatch = 4
+	tuner.AMU.Epochs = 1
+	app := workload.ByName("WordCount")
+	env := sparksim.ClusterC
+	data := app.Spec.MakeData(app.Sizes.Train[0])
+	source := EncodeAll(tuner.Model.Encoder, ds.Instances[:20])
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := tuner.RecommendSafe(app.Spec, data, env); err != nil {
+					t.Errorf("RecommendSafe: %v", err)
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(9))
+	updated := false
+	for i := 0; i < 6; i++ {
+		cfg := ForceFeasible(sparksim.RandomConfig(rng), env)
+		run := instrument.Run(app.Spec, data, env, cfg)
+		if tuner.CollectFeedback(run, source) {
+			updated = true
+		}
+	}
+	wg.Wait()
+	if !updated {
+		t.Fatal("expected at least one adaptive update to trigger")
+	}
+	if !tuner.Model.paramsFinite() {
+		t.Fatal("model weights went non-finite during concurrent update")
+	}
+}

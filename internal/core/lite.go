@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"lite/internal/instrument"
@@ -16,6 +17,14 @@ import (
 // Tuner is the LITE system (paper Figure 2): an offline-trained NECS
 // estimator, the Adaptive Candidate Generation model, and the online
 // recommendation loop with Adaptive Model Update on collected feedback.
+//
+// Concurrency: the read paths (Recommend, RecommendFrom, RecommendSafe,
+// Model.PredictApp via them) may be called from any number of goroutines;
+// they share mu as readers and serialize only on the candidate RNG.
+// CollectFeedback takes mu exclusively, so an in-place adaptive update
+// blocks readers for its duration — a serving layer that cannot afford
+// that should retrain on CloneForUpdate and hot-swap the whole tuner
+// (see internal/serve).
 type Tuner struct {
 	Model *NECS
 	ACG   *CandidateGenerator
@@ -32,6 +41,31 @@ type Tuner struct {
 	AMU         AMUConfig
 
 	rng *rand.Rand
+
+	// mu is held shared by the read paths and exclusively by
+	// CollectFeedback (which appends feedback and may mutate the model
+	// weights in place via AdaptiveModelUpdate).
+	mu sync.RWMutex
+	// rngMu guards rng: math/rand.Rand is not safe for concurrent use,
+	// even by otherwise read-only callers. Lock order: mu before rngMu.
+	rngMu sync.Mutex
+}
+
+// ensureRNG lazily installs a deterministic RNG on hand-assembled tuners.
+func (t *Tuner) ensureRNG() {
+	t.rngMu.Lock()
+	if t.rng == nil {
+		t.rng = rand.New(rand.NewSource(1))
+	}
+	t.rngMu.Unlock()
+}
+
+// sampleFeasible draws candidates from the ACG region under the RNG lock.
+func (t *Tuner) sampleFeasible(appName string, data sparksim.DataSpec, env sparksim.Environment, n int) []sparksim.Config {
+	t.ensureRNG()
+	t.rngMu.Lock()
+	defer t.rngMu.Unlock()
+	return t.ACG.SampleFeasible(appName, data, env, n, t.rng)
 }
 
 // TrainOptions bundles everything needed to train LITE offline.
@@ -99,14 +133,19 @@ type ScoredConfig struct {
 // estimated time (Equation 5).
 func (t *Tuner) Recommend(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) Recommendation {
 	start := time.Now()
-	cands := t.ACG.SampleFeasible(app.Name, data, env, t.NumCandidates, t.rng)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cands := t.sampleFeasible(app.Name, data, env, t.NumCandidates)
 	return t.recommendFrom(app, data, env, cands, start)
 }
 
 // RecommendFrom ranks a caller-supplied candidate set (used by experiments
 // that compare sampling strategies).
 func (t *Tuner) RecommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, cands []sparksim.Config) Recommendation {
-	return t.recommendFrom(app, data, env, cands, time.Now())
+	start := time.Now()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.recommendFrom(app, data, env, cands, start)
 }
 
 func (t *Tuner) recommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, cands []sparksim.Config, start time.Time) Recommendation {
@@ -173,11 +212,11 @@ type SafeRecommendation struct {
 func (t *Tuner) RecommendSafe(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) (SafeRecommendation, error) {
 	start := time.Now()
 	sr := SafeRecommendation{}
-	if t.rng == nil {
-		// A hand-assembled or deserialized tuner may lack an RNG; serving
-		// must not crash over it.
-		t.rng = rand.New(rand.NewSource(1))
-	}
+	// A hand-assembled or deserialized tuner may lack an RNG; serving must
+	// not crash over it (ensureRNG is race-safe).
+	t.ensureRNG()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 
 	if rec, note := t.tryNECSTier(app, data, env, start); note == "" {
 		sr.Recommendation = rec
@@ -219,7 +258,7 @@ func (t *Tuner) tryNECSTier(app *sparksim.AppSpec, data sparksim.DataSpec, env s
 	if t.Model == nil || t.ACG == nil {
 		return rec, "model or candidate generator missing"
 	}
-	cands := t.ACG.SampleFeasible(app.Name, data, env, t.NumCandidates, t.rng)
+	cands := t.sampleFeasible(app.Name, data, env, t.NumCandidates)
 	scored := make([]ScoredConfig, 0, len(cands))
 	for _, c := range cands {
 		if !sparksim.Feasible(c, env) {
@@ -274,15 +313,51 @@ func (t *Tuner) tryACGTier(app *sparksim.AppSpec, data sparksim.DataSpec, env sp
 // domain and clears the feedback buffer. sourceSample should be drawn from
 // the training instances. Returns true if an update was performed.
 func (t *Tuner) CollectFeedback(run instrument.AppInstance, sourceSample []*Encoded) bool {
+	t.ensureRNG()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for i := range run.Stages {
 		t.Feedback = append(t.Feedback, t.Model.Encoder.Encode(&run.Stages[i]))
 	}
 	if t.UpdateBatch <= 0 || len(t.Feedback) < t.UpdateBatch {
 		return false
 	}
+	t.rngMu.Lock()
 	AdaptiveModelUpdate(t.Model, sourceSample, t.Feedback, t.AMU, t.rng)
+	t.rngMu.Unlock()
 	t.Feedback = t.Feedback[:0]
 	return true
+}
+
+// EncodeRun encodes the stage instances of one executed run with the
+// tuner's encoder without touching the feedback buffer — the serving layer
+// queues feedback itself and folds it into a clone off the hot path.
+func (t *Tuner) EncodeRun(run instrument.AppInstance) []*Encoded {
+	out := make([]*Encoded, 0, len(run.Stages))
+	for i := range run.Stages {
+		out = append(out, t.Model.Encoder.Encode(&run.Stages[i]))
+	}
+	return out
+}
+
+// CloneForUpdate returns a tuner that shares the read-only ACG and encoder
+// with the receiver but owns a deep copy of the NECS weights and of the
+// accumulated feedback, so a background trainer can fine-tune the clone
+// (AdaptiveModelUpdate mutates weights in place) while the original keeps
+// serving reads, then atomically publish the clone as the new serving
+// snapshot.
+func (t *Tuner) CloneForUpdate(seed int64) *Tuner {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return &Tuner{
+		Model:         t.Model.Clone(),
+		ACG:           t.ACG,
+		NumCandidates: t.NumCandidates,
+		Feedback:      append([]*Encoded(nil), t.Feedback...),
+		UpdateBatch:   t.UpdateBatch,
+		AMU:           t.AMU,
+		rng:           rand.New(rand.NewSource(seed)),
+	}
 }
 
 // ColdStartInstrument implements online Step 1 for a never-seen

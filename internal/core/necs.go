@@ -8,6 +8,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"lite/internal/feature"
 	"lite/internal/instrument"
@@ -112,12 +113,15 @@ func LabelOf(seconds float64) float64 {
 func SecondsOf(label float64) float64 { return math.Expm1(label) }
 
 // Encoder caches per-stage encodings (token ids, DAG matrices) so repeated
-// instances of the same stage are cheap.
+// instances of the same stage are cheap. Encode is safe for concurrent use:
+// the caches are guarded by a mutex, and the cached tensors themselves are
+// only ever read after insertion.
 type Encoder struct {
 	Vocab   *feature.Vocab
 	OpVocab *feature.OpVocab
 	cfg     NECSConfig
 
+	mu        sync.Mutex
 	tokCache  map[string][]int
 	dagCache  map[string]*dagEnc
 	dagByKey  func(ops []string, edges [][2]int) string
@@ -147,8 +151,11 @@ func NewEncoder(train []instrument.StageInstance, cfg NECSConfig) *Encoder {
 	return NewEncoderFromVocabs(vocab, opVocab, cfg)
 }
 
-// Encode converts a stage instance into model input.
+// Encode converts a stage instance into model input. It is safe to call
+// from concurrent goroutines (the serving hot path encodes while a
+// background update loop encodes feedback against the same encoder).
 func (e *Encoder) Encode(inst *instrument.StageInstance) *Encoded {
+	e.mu.Lock()
 	toks, ok := e.tokCache[inst.Code]
 	if !ok {
 		toks = e.Vocab.Encode(inst.Code, e.cfg.TokenLen)
@@ -163,6 +170,7 @@ func (e *Encoder) Encode(inst *instrument.StageInstance) *Encoded {
 		}
 		e.dagCache[key] = dag
 	}
+	e.mu.Unlock()
 	return &Encoded{
 		AppName:    inst.AppName,
 		StageIndex: inst.StageIndex,

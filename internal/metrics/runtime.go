@@ -1,0 +1,268 @@
+package metrics
+
+// This file adds the *runtime* metrics the serving subsystem exports —
+// atomic counters, gauges and histograms with a Prometheus-style text
+// exposition — alongside the paper's evaluation metrics (HR@K, NDCG, ETR)
+// defined in metrics.go. Everything here is allocation-free on the hot
+// path and safe for concurrent use.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down (e.g. the current model
+// snapshot generation, the feedback-queue depth).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last value stored.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative-style buckets and tracks
+// sum and count, like a Prometheus histogram. Observe is lock-free.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefaultLatencyBuckets covers sub-millisecond cache hits up to multi-second
+// cold recommendations (seconds).
+var DefaultLatencyBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// NewHistogram builds a histogram over the given upper bounds (need not be
+// sorted; a copy is taken). A nil/empty slice falls back to
+// DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the containing bucket — the same estimate Prometheus's
+// histogram_quantile produces. Values beyond the last bound clamp to it.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank && n > 0 {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1] // open-ended bucket: clamp
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - cum) / n
+			return lo + (h.bounds[i]-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry is a named collection of runtime metrics with text exposition.
+// Metric names may carry Prometheus-style labels baked into the string,
+// e.g. `http_requests_total{endpoint="recommend",code="200"}`.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with the
+// given bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WriteText renders every metric in a Prometheus-compatible exposition
+// format, sorted by name for deterministic output.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	type hist struct {
+		name string
+		h    *Histogram
+	}
+	counters := make([]string, 0, len(r.counts))
+	for n := range r.counts {
+		counters = append(counters, n)
+	}
+	gauges := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	hists := make([]hist, 0, len(r.hists))
+	for n, h := range r.hists {
+		hists = append(hists, hist{n, h})
+	}
+	counts, gaugeVals := r.counts, r.gauges
+	r.mu.Unlock()
+
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, n := range counters {
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, counts[n].Value()); err != nil {
+			return err
+		}
+	}
+	for _, n := range gauges {
+		if _, err := fmt.Fprintf(w, "%s %g\n", n, gaugeVals[n].Value()); err != nil {
+			return err
+		}
+	}
+	for _, hh := range hists {
+		base, labels := splitLabels(hh.name)
+		var cum uint64
+		for i, b := range hh.h.bounds {
+			cum += hh.h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, labels, trimFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += hh.h.counts[len(hh.h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", hh.name, hh.h.Sum(), hh.name, hh.h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitLabels separates `name{a="b"}` into "name" and `a="b",` so bucket
+// lines can append the le label; a plain name yields empty labels.
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	inner := strings.TrimSuffix(name[i+1:], "}")
+	if inner == "" {
+		return name[:i], ""
+	}
+	return name[:i], inner + ","
+}
+
+// trimFloat formats a bucket bound compactly.
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("reqs_total").Inc()
+				r.Gauge("gen").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("reqs_total").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if g := r.Gauge("gen").Value(); g < 0 || g > 999 {
+		t.Fatalf("gauge = %g out of range", g)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%8) + 0.5) // uniform over [0.5, 7.5]
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 1 || p50 > 5 {
+		t.Fatalf("p50 = %g, want within [1,5]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 || p99 > 8 {
+		t.Fatalf("p99 = %g, want within [p50,8]", p99)
+	}
+	if mean := h.Mean(); math.Abs(mean-4) > 0.2 {
+		t.Fatalf("mean = %g, want ~4", mean)
+	}
+	// Over-the-top observations land in the +Inf bucket and clamp quantiles.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(100)
+	if q := h2.Quantile(0.5); q != 1 {
+		t.Fatalf("overflow quantile = %g, want clamp to 1", q)
+	}
+	h2.Observe(math.NaN()) // ignored
+	if h2.Count() != 1 {
+		t.Fatalf("NaN observation counted")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+	if math.Abs(h.Sum()-4.0) > 1e-9 {
+		t.Fatalf("sum = %g, want 4.0", h.Sum())
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`http_requests_total{endpoint="recommend",code="200"}`).Add(3)
+	r.Gauge("snapshot_generation").Set(2)
+	h := r.Histogram(`http_request_seconds{endpoint="recommend"}`, []float64{0.01, 0.1})
+	h.Observe(0.05)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`http_requests_total{endpoint="recommend",code="200"} 3`,
+		"snapshot_generation 2",
+		`http_request_seconds_bucket{endpoint="recommend",le="0.1"} 1`,
+		`http_request_seconds{endpoint="recommend"}_count 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"lite/internal/metrics"
+)
+
+// batcher implements micro-batched inference: requests arriving within a
+// short window (or until the batch is full) are collected, grouped by
+// request key, and each unique key is scored exactly once — one NECS
+// candidate-scoring pass serves every concurrent request for that key.
+// Batches are processed on their own goroutine so the collector keeps
+// accepting requests while a previous batch is still scoring.
+type batcher struct {
+	max    int
+	window time.Duration
+
+	reqCh    chan *batchReq
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	sizes  *metrics.Histogram
+	keys   *metrics.Histogram
+	total  *metrics.Counter
+	shared *metrics.Counter
+}
+
+type batchReq struct {
+	key     string
+	compute func() (RecommendResponse, error)
+	done    chan batchResult
+}
+
+type batchResult struct {
+	resp      RecommendResponse
+	err       error
+	batchSize int
+	coalesced bool
+}
+
+func newBatcher(max int, window time.Duration, reg *metrics.Registry) *batcher {
+	return &batcher{
+		max:    max,
+		window: window,
+		reqCh:  make(chan *batchReq),
+		stopCh: make(chan struct{}),
+		sizes:  reg.Histogram("lite_batch_size", []float64{1, 2, 4, 8, 16, 32, 64}),
+		keys:   reg.Histogram("lite_batch_unique_keys", []float64{1, 2, 4, 8, 16, 32, 64}),
+		total:  reg.Counter("lite_batches_total"),
+		shared: reg.Counter("lite_batched_coalesced_total"),
+	}
+}
+
+func (b *batcher) start() {
+	b.wg.Add(1)
+	go b.loop()
+}
+
+// stop shuts the collector down; submits after stop fall back to direct
+// computation so nothing ever hangs on a stopped batcher.
+func (b *batcher) stop() {
+	b.stopOnce.Do(func() { close(b.stopCh) })
+	b.wg.Wait()
+}
+
+// submit enqueues a request and blocks until its batch is processed. If
+// the batcher is stopped (or was never started), the request computes
+// directly.
+func (b *batcher) submit(key string, compute func() (RecommendResponse, error)) (RecommendResponse, error) {
+	req := &batchReq{key: key, compute: compute, done: make(chan batchResult, 1)}
+	select {
+	case b.reqCh <- req:
+		res := <-req.done
+		res.resp.BatchSize = res.batchSize
+		res.resp.Coalesced = res.resp.Coalesced || res.coalesced
+		return res.resp, res.err
+	case <-b.stopCh:
+		return compute()
+	}
+}
+
+// loop collects requests into batches bounded by size and latency.
+func (b *batcher) loop() {
+	defer b.wg.Done()
+	var timer *time.Timer
+	var timerCh <-chan time.Time
+	var pending []*batchReq
+
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		batch := pending
+		pending = nil
+		if timer != nil {
+			timer.Stop()
+			timer, timerCh = nil, nil
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.process(batch)
+		}()
+	}
+
+	for {
+		select {
+		case req := <-b.reqCh:
+			pending = append(pending, req)
+			if len(pending) >= b.max {
+				flush()
+				continue
+			}
+			if timer == nil {
+				timer = time.NewTimer(b.window)
+				timerCh = timer.C
+			}
+		case <-timerCh:
+			timer, timerCh = nil, nil
+			flush()
+		case <-b.stopCh:
+			// Drain: everything already collected is processed; new
+			// submits short-circuit to direct computation.
+			flush()
+			return
+		}
+	}
+}
+
+// process scores one batch: unique keys are computed once, results fan out
+// to every request that shares the key.
+func (b *batcher) process(batch []*batchReq) {
+	b.total.Inc()
+	b.sizes.Observe(float64(len(batch)))
+
+	byKey := map[string][]*batchReq{}
+	order := make([]string, 0, len(batch))
+	for _, r := range batch {
+		if _, ok := byKey[r.key]; !ok {
+			order = append(order, r.key)
+		}
+		byKey[r.key] = append(byKey[r.key], r)
+	}
+	b.keys.Observe(float64(len(order)))
+
+	for _, key := range order {
+		reqs := byKey[key]
+		resp, err := reqs[0].compute()
+		for i, r := range reqs {
+			if i > 0 {
+				b.shared.Inc()
+			}
+			r.done <- batchResult{resp: resp, err: err, batchSize: len(batch), coalesced: i > 0}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lite/internal/metrics"
+)
+
+func TestBatcherCoalescesSameKey(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := newBatcher(16, 20*time.Millisecond, reg)
+	b.start()
+	defer b.stop()
+
+	var computes atomic.Int32
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]RecommendResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := b.submit("same", func() (RecommendResponse, error) {
+				computes.Add(1)
+				return RecommendResponse{Tier: "necs"}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = resp
+		}(i)
+	}
+	wg.Wait()
+
+	// All 8 arrive well inside one 20ms window, so they coalesce into very
+	// few batches; at least one batch must have scored the key once for
+	// multiple requests.
+	if got := computes.Load(); got >= n {
+		t.Fatalf("computed %d times for %d same-key requests; expected coalescing", got, n)
+	}
+	maxBatch := 0
+	for _, r := range results {
+		if r.BatchSize > maxBatch {
+			maxBatch = r.BatchSize
+		}
+	}
+	if maxBatch < 2 {
+		t.Fatalf("max batch size %d, want >= 2", maxBatch)
+	}
+	if reg.Histogram("lite_batch_size", nil).Count() == 0 {
+		t.Fatal("batch size histogram empty")
+	}
+}
+
+func TestBatcherDistinctKeysAllComputed(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := newBatcher(16, 10*time.Millisecond, reg)
+	b.start()
+	defer b.stop()
+
+	var mu sync.Mutex
+	seen := map[string]int{}
+	var wg sync.WaitGroup
+	keys := []string{"a", "b", "c", "d"}
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			_, err := b.submit(k, func() (RecommendResponse, error) {
+				mu.Lock()
+				seen[k]++
+				mu.Unlock()
+				return RecommendResponse{}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, k := range keys {
+		if seen[k] != 1 {
+			t.Fatalf("key %q computed %d times, want 1", k, seen[k])
+		}
+	}
+}
+
+func TestBatcherRespectsMax(t *testing.T) {
+	reg := metrics.NewRegistry()
+	// A long window forces the size cutoff to be what flushes the batch.
+	b := newBatcher(4, time.Hour, reg)
+	b.start()
+	defer b.stop()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := b.submit("k", func() (RecommendResponse, error) {
+				return RecommendResponse{}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if resp.BatchSize > 4 {
+				t.Errorf("batch size %d exceeds max 4", resp.BatchSize)
+			}
+		}(i)
+	}
+	// If the size cutoff failed, the hour-long window would hang this test.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch never flushed at max size")
+	}
+}
+
+func TestBatcherStoppedFallsBackToDirect(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := newBatcher(4, time.Millisecond, reg)
+	b.start()
+	b.stop()
+	resp, err := b.submit("k", func() (RecommendResponse, error) {
+		return RecommendResponse{Tier: "necs"}, nil
+	})
+	if err != nil || resp.Tier != "necs" {
+		t.Fatalf("stopped batcher submit = (%+v, %v)", resp, err)
+	}
+}

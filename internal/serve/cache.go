@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// ttlCache is the recommendation cache: key → response with a TTL, plus
+// singleflight deduplication so a stampede of concurrent misses on one key
+// computes exactly once while the rest wait for the leader's result.
+type ttlCache struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu       sync.Mutex
+	entries  map[string]cacheEntry
+	inflight map[string]*flightCall
+}
+
+type cacheEntry struct {
+	resp    RecommendResponse
+	expires time.Time
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp RecommendResponse
+	err  error
+}
+
+func newTTLCache(ttl time.Duration, now func() time.Time) *ttlCache {
+	return &ttlCache{
+		ttl:      ttl,
+		now:      now,
+		entries:  map[string]cacheEntry{},
+		inflight: map[string]*flightCall{},
+	}
+}
+
+// getOrDo returns the cached response for key if fresh; otherwise the first
+// caller runs fn and everyone else arriving before it finishes shares the
+// result. hit reports a cache hit, shared reports that this caller waited
+// on another caller's computation. Errors are not cached.
+func (c *ttlCache) getOrDo(key string, fn func() (RecommendResponse, error)) (resp RecommendResponse, hit, shared bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && c.now().Before(e.expires) {
+		c.mu.Unlock()
+		return e.resp, true, false, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.resp, false, true, call.err
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	call.resp, call.err = fn()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		c.entries[key] = cacheEntry{resp: call.resp, expires: c.now().Add(c.ttl)}
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.resp, false, false, call.err
+}
+
+// flush drops every cached entry (called on model hot-swap: a new
+// generation must not serve the old generation's recommendations).
+// In-flight computations are left alone; they complete against the
+// snapshot they loaded and their entries may be flushed again by the next
+// swap — a response is always internally consistent with one snapshot.
+func (c *ttlCache) flush() {
+	c.mu.Lock()
+	c.entries = map[string]cacheEntry{}
+	c.mu.Unlock()
+}
+
+// len reports the current number of cached entries (expired included).
+func (c *ttlCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheTTLExpiry(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	var mu sync.Mutex
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	advance := func(d time.Duration) { mu.Lock(); clock = clock.Add(d); mu.Unlock() }
+
+	c := newTTLCache(10*time.Second, now)
+	calls := 0
+	fn := func() (RecommendResponse, error) {
+		calls++
+		return RecommendResponse{Tier: "necs"}, nil
+	}
+	if _, hit, _, _ := c.getOrDo("k", fn); hit {
+		t.Fatal("first call must miss")
+	}
+	if _, hit, _, _ := c.getOrDo("k", fn); !hit {
+		t.Fatal("second call must hit")
+	}
+	advance(11 * time.Second)
+	if _, hit, _, _ := c.getOrDo("k", fn); hit {
+		t.Fatal("expired entry must miss")
+	}
+	if calls != 2 {
+		t.Fatalf("fn called %d times, want 2", calls)
+	}
+	c.flush()
+	c.getOrDo("k", fn)
+	if calls != 3 {
+		t.Fatalf("flush did not evict (calls=%d)", calls)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := newTTLCache(time.Minute, time.Now)
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	fn := func() (RecommendResponse, error) {
+		calls.Add(1)
+		<-gate
+		return RecommendResponse{Tier: "necs"}, nil
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int32
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			_, hit, shared, err := c.getOrDo("k", fn)
+			if err != nil {
+				t.Error(err)
+			}
+			if hit {
+				t.Error("no entry existed yet; hit impossible")
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	// Give followers a moment to park on the in-flight call, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("stampede computed %d times, want exactly 1", got)
+	}
+	if sharedCount.Load() != n-1 {
+		t.Fatalf("%d callers shared, want %d", sharedCount.Load(), n-1)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newTTLCache(time.Minute, time.Now)
+	calls := 0
+	fail := func() (RecommendResponse, error) { calls++; return RecommendResponse{}, ErrQueueFull }
+	c.getOrDo("k", fail)
+	c.getOrDo("k", fail)
+	if calls != 2 {
+		t.Fatalf("error result was cached (calls=%d)", calls)
+	}
+	if c.len() != 0 {
+		t.Fatalf("cache holds %d entries after errors, want 0", c.len())
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST /recommend  {"app":"PageRank","size_mb":4096,"cluster":"C"}
+//	POST /feedback   {"app":"PageRank","size_mb":4096,"cluster":"C","config":{...}}
+//	GET  /healthz
+//	GET  /metrics
+//
+// Every endpoint is instrumented with request counters (by status code)
+// and latency histograms.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/recommend", s.instrument("recommend", http.HandlerFunc(s.handleRecommend)))
+	mux.Handle("/feedback", s.instrument("feedback", http.HandlerFunc(s.handleFeedback)))
+	mux.Handle("/healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(endpoint string, next http.Handler) http.Handler {
+	hist := s.reg.Histogram(fmt.Sprintf("lite_http_request_seconds{endpoint=%q}", endpoint), nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.reg.Counter(fmt.Sprintf("lite_http_requests_total{endpoint=%q,code=\"%d\"}", endpoint, rec.code)).Inc()
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError maps errors to status codes: client errors (unknown
+// app/cluster/knob) are 400, a full feedback queue is 429, everything else
+// is 500.
+func writeError(w http.ResponseWriter, err error) {
+	var reqErr *RequestError
+	switch {
+	case errors.As(err, &reqErr):
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrQueueFull):
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST with a JSON body"})
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req RecommendRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.Recommend(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req FeedbackRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.Feedback(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type healthResponse struct {
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	Feedbacks  int    `json:"feedbacks"`
+	SnapshotAt string `json:"snapshot_at"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Generation: snap.Gen,
+		Feedbacks:  snap.Feedbacks,
+		SnapshotAt: snap.CreatedAt.Format(time.RFC3339Nano),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WriteText(w)
+}

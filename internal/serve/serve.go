@@ -1,0 +1,390 @@
+// Package serve turns the LITE tuner into a long-running, concurrent
+// recommendation service (the deployment shape the paper's online phase
+// assumes: recommendations are served continuously while execution
+// feedback flows back into the model).
+//
+// Architecture:
+//
+//   - An immutable model *snapshot* (tuner + generation) is published
+//     through an atomic pointer. Readers load the pointer once per request
+//     and never block on training.
+//   - A background *adaptive-update loop* consumes a feedback queue,
+//     retrains a clone of the current model off the hot path
+//     (core.Tuner.CloneForUpdate + AdaptiveModelUpdate) and hot-swaps the
+//     snapshot atomically.
+//   - Concurrent requests are *micro-batched*: requests arriving within a
+//     small window coalesce into one batch, and requests for the same
+//     (app, datasize bucket, env) key inside a batch are scored once.
+//   - A TTL *recommendation cache* with singleflight deduplication absorbs
+//     repeated-key traffic; a stampede on a cold key computes once.
+//
+// The HTTP/JSON API lives in http.go; cmd/liteserve runs it and
+// cmd/liteload benchmarks it.
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lite/internal/core"
+	"lite/internal/metrics"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// Options configures the server. The zero value enables the cache and the
+// batcher with the defaults below.
+type Options struct {
+	// CacheTTL bounds how long a recommendation is served from cache
+	// (default 30s). The cache is also flushed on every model hot-swap.
+	CacheTTL time.Duration
+	// DisableCache bypasses the recommendation cache (every request goes
+	// to the batcher / model).
+	DisableCache bool
+
+	// BatchMax is the most requests coalesced into one inference batch
+	// (default 16); BatchWindow is how long the batcher waits for
+	// stragglers after the first request arrives (default 2ms).
+	BatchMax    int
+	BatchWindow time.Duration
+	// DisableBatcher scores every request individually.
+	DisableBatcher bool
+
+	// UpdateBatch is how many feedback runs trigger one adaptive model
+	// update (default 8). FeedbackQueue bounds the pending-feedback queue
+	// (default 256); a full queue rejects new feedback rather than block
+	// the handler.
+	UpdateBatch   int
+	FeedbackQueue int
+
+	// SourceSample is a sample of source-domain (offline training)
+	// instances mixed into every adaptive update so the model does not
+	// drift off the training distribution. Optional.
+	SourceSample []*core.Encoded
+
+	// SnapshotPath, when set, persists every published snapshot's tuner
+	// there (write-to-temp + rename), so a restarted server can reload the
+	// adapted model with core.LoadTuner.
+	SnapshotPath string
+
+	// Seed drives the retrain RNG chain; each update uses Seed+generation.
+	Seed int64
+
+	// Now overrides the clock (tests). Defaults to time.Now.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheTTL <= 0 {
+		o.CacheTTL = 30 * time.Second
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 16
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
+	if o.UpdateBatch <= 0 {
+		o.UpdateBatch = 8
+	}
+	if o.FeedbackQueue <= 0 {
+		o.FeedbackQueue = 256
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Snapshot is one immutable published model generation. The Tuner inside a
+// snapshot is never mutated after publication — updates clone, retrain and
+// swap — so any number of readers may use it without coordination beyond
+// loading the pointer.
+type Snapshot struct {
+	Tuner *core.Tuner
+	// Gen counts hot-swaps since boot (the offline model is generation 0).
+	Gen uint64
+	// CreatedAt is when this generation was published.
+	CreatedAt time.Time
+	// Feedbacks is the cumulative number of feedback runs folded into the
+	// model across all generations.
+	Feedbacks int
+}
+
+// Server is the concurrent LITE recommendation service.
+type Server struct {
+	opts  Options
+	snap  atomic.Pointer[Snapshot]
+	cache *ttlCache
+	batch *batcher
+	reg   *metrics.Registry
+
+	feedbackCh chan feedbackItem
+	stopOnce   sync.Once
+	stopCh     chan struct{}
+	wg         sync.WaitGroup
+	started    atomic.Bool
+}
+
+type feedbackItem struct {
+	app *workload.App
+	req FeedbackRequest
+	cfg sparksim.Config
+	env sparksim.Environment
+}
+
+// New builds a server around an offline-trained tuner (generation 0).
+// Call Start to launch the adaptive-update loop, and Shutdown to stop.
+func New(tuner *core.Tuner, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:       opts,
+		reg:        metrics.NewRegistry(),
+		feedbackCh: make(chan feedbackItem, opts.FeedbackQueue),
+		stopCh:     make(chan struct{}),
+	}
+	s.snap.Store(&Snapshot{Tuner: tuner, Gen: 0, CreatedAt: opts.Now()})
+	s.cache = newTTLCache(opts.CacheTTL, opts.Now)
+	s.batch = newBatcher(opts.BatchMax, opts.BatchWindow, s.reg)
+	s.reg.Gauge("lite_snapshot_generation").Set(0)
+	return s
+}
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Snapshot returns the currently published model snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Start launches the background adaptive-update loop and the batcher.
+func (s *Server) Start() {
+	if s.started.Swap(true) {
+		return
+	}
+	s.batch.start()
+	s.wg.Add(1)
+	go s.updateLoop()
+}
+
+// Shutdown stops the batcher and the update loop, waiting for an in-flight
+// retrain to finish (bounded by the deadline, if any, on done). It is safe
+// to call more than once.
+func (s *Server) Shutdown(done <-chan struct{}) error {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.batch.stop()
+	finished := make(chan struct{})
+	go func() { s.wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+		return nil
+	case <-done:
+		return fmt.Errorf("serve: shutdown deadline exceeded with update loop still running")
+	}
+}
+
+// RecommendRequest is one /recommend call.
+type RecommendRequest struct {
+	App    string  `json:"app"`
+	SizeMB float64 `json:"size_mb"`
+	// Cluster names one of the simulated environments (A, B or C).
+	Cluster string `json:"cluster"`
+}
+
+// RecommendResponse is the JSON answer to /recommend.
+type RecommendResponse struct {
+	App     string  `json:"app"`
+	SizeMB  float64 `json:"size_mb"`
+	Cluster string  `json:"cluster"`
+	// Config maps knob name → recommended value.
+	Config map[string]float64 `json:"config"`
+	// PredictedSeconds is NECS's estimate; absent on degraded tiers.
+	PredictedSeconds *float64 `json:"predicted_seconds,omitempty"`
+	// Tier reports which degradation level answered (necs, acg-region,
+	// safe-default; see core.RecommendSafe).
+	Tier string `json:"tier"`
+	// Generation is the model snapshot that produced the answer.
+	Generation uint64 `json:"generation"`
+	// Cached is true when the answer came from the recommendation cache;
+	// Coalesced when this request shared another request's computation
+	// (singleflight or in-batch dedup).
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced"`
+	// BatchSize is how many requests shared the inference batch (1 when
+	// the batcher is disabled or the answer was cached).
+	BatchSize int `json:"batch_size"`
+	// OverheadMS is the server-side decision time in milliseconds.
+	OverheadMS float64 `json:"overhead_ms"`
+}
+
+// RequestError is a client error (unknown app/cluster, bad payload).
+type RequestError struct{ msg string }
+
+func (e *RequestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &RequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// sizeBucket quantizes a datasize into its cache bucket: one bucket per
+// power of two of megabytes, so 900 MB and 1000 MB share an entry but
+// 1 GB and 100 GB do not.
+func sizeBucket(sizeMB float64) int {
+	if sizeMB <= 1 {
+		return 0
+	}
+	b := 0
+	for v := sizeMB; v > 1; v /= 2 {
+		b++
+	}
+	return b
+}
+
+// envFingerprint identifies an environment for cache keying: the hardware
+// profile plus whether faults are active (fault-injecting and clean
+// clusters must never share cache entries).
+func envFingerprint(env sparksim.Environment) string {
+	f := fmt.Sprintf("%s|%dx%d|%.1fGHz|%.0fGB|%.0fMTs|%.0fGbps",
+		env.Name, env.Nodes, env.Cores, env.FreqGHz, env.MemGB, env.MemSpeedMTs, env.NetGbps)
+	if env.Faults.Active() {
+		f += "|faults"
+	}
+	return f
+}
+
+func requestKey(appName string, sizeMB float64, env sparksim.Environment) string {
+	return fmt.Sprintf("%s|b%d|%s", appName, sizeBucket(sizeMB), envFingerprint(env))
+}
+
+// ClusterByName resolves a cluster name (case-insensitive) to its
+// environment.
+func ClusterByName(name string) (sparksim.Environment, bool) {
+	for _, e := range sparksim.AllClusters {
+		if strings.EqualFold(e.Name, name) {
+			return e, true
+		}
+	}
+	return sparksim.Environment{}, false
+}
+
+func (s *Server) resolve(appName, cluster string) (*workload.App, sparksim.Environment, error) {
+	app := workload.ByName(appName)
+	if app == nil {
+		return nil, sparksim.Environment{}, badRequest("unknown application %q", appName)
+	}
+	env, ok := ClusterByName(cluster)
+	if !ok {
+		return nil, sparksim.Environment{}, badRequest("unknown cluster %q", cluster)
+	}
+	return app, env, nil
+}
+
+// Recommend serves one recommendation request through the cache, the
+// batcher and the current model snapshot. It is safe for concurrent use.
+func (s *Server) Recommend(req RecommendRequest) (RecommendResponse, error) {
+	start := s.opts.Now()
+	app, env, err := s.resolve(req.App, req.Cluster)
+	if err != nil {
+		return RecommendResponse{}, err
+	}
+	if req.SizeMB <= 0 {
+		req.SizeMB = app.Sizes.Test
+	}
+	key := requestKey(app.Spec.Name, req.SizeMB, env)
+
+	compute := func() (RecommendResponse, error) {
+		if s.opts.DisableBatcher {
+			return s.score(app, req, env)
+		}
+		return s.batch.submit(key, func() (RecommendResponse, error) {
+			return s.score(app, req, env)
+		})
+	}
+
+	var resp RecommendResponse
+	if s.opts.DisableCache {
+		resp, err = compute()
+	} else {
+		var hit, shared bool
+		resp, hit, shared, err = s.cache.getOrDo(key, compute)
+		if err == nil {
+			resp.Cached = hit
+			resp.Coalesced = resp.Coalesced || shared
+			if hit {
+				s.reg.Counter("lite_cache_hits_total").Inc()
+			} else {
+				s.reg.Counter("lite_cache_misses_total").Inc()
+			}
+		}
+	}
+	if err != nil {
+		return RecommendResponse{}, err
+	}
+	resp.OverheadMS = float64(s.opts.Now().Sub(start)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+// score runs the actual model inference against the current snapshot. The
+// snapshot pointer is loaded exactly once, so a hot-swap mid-request can
+// never mix two generations in one answer.
+func (s *Server) score(app *workload.App, req RecommendRequest, env sparksim.Environment) (RecommendResponse, error) {
+	snap := s.snap.Load()
+	data := app.Spec.MakeData(req.SizeMB)
+	sr, err := snap.Tuner.RecommendSafe(app.Spec, data, env)
+	if err != nil {
+		return RecommendResponse{}, fmt.Errorf("serve: no feasible configuration: %w", err)
+	}
+	s.reg.Counter("lite_recommendations_total{tier=\"" + string(sr.Tier) + "\"}").Inc()
+	resp := RecommendResponse{
+		App:        app.Spec.Name,
+		SizeMB:     req.SizeMB,
+		Cluster:    env.Name,
+		Config:     configByName(sr.Config),
+		Tier:       string(sr.Tier),
+		Generation: snap.Gen,
+		BatchSize:  1,
+	}
+	if !isNaN(sr.PredictedSeconds) {
+		p := sr.PredictedSeconds
+		resp.PredictedSeconds = &p
+	}
+	return resp, nil
+}
+
+func isNaN(v float64) bool { return v != v }
+
+// configByName renders a Config as a knob-name → value map.
+func configByName(cfg sparksim.Config) map[string]float64 {
+	out := make(map[string]float64, sparksim.NumKnobs)
+	for i, k := range sparksim.Knobs {
+		out[k.Name] = cfg[i]
+	}
+	return out
+}
+
+// ConfigFromMap builds a Config from a knob-name → value map, starting
+// from the default configuration for unspecified knobs. Unknown knob names
+// are an error.
+func ConfigFromMap(m map[string]float64) (sparksim.Config, error) {
+	cfg := sparksim.DefaultConfig()
+	if len(m) == 0 {
+		return cfg, nil
+	}
+	index := make(map[string]int, sparksim.NumKnobs)
+	for i, k := range sparksim.Knobs {
+		index[k.Name] = i
+	}
+	for name, v := range m {
+		i, ok := index[name]
+		if !ok {
+			return cfg, badRequest("unknown knob %q", name)
+		}
+		cfg[i] = v
+	}
+	return cfg.Clamp(), nil
+}

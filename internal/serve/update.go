@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"lite/internal/core"
+	"lite/internal/instrument"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// FeedbackRequest reports the outcome of executing a recommendation in
+// production (online Step 4). The configuration is given by knob name;
+// unspecified knobs default. The server executes the run on the simulated
+// cluster to recover stage-level instances — the stand-in for the paper's
+// instrumented production system.
+type FeedbackRequest struct {
+	App     string             `json:"app"`
+	SizeMB  float64            `json:"size_mb"`
+	Cluster string             `json:"cluster"`
+	Config  map[string]float64 `json:"config,omitempty"`
+}
+
+// FeedbackResponse acknowledges queued feedback.
+type FeedbackResponse struct {
+	Queued bool `json:"queued"`
+	// Pending is the queue depth after this item.
+	Pending int `json:"pending"`
+	// Generation is the model generation that will absorb this feedback
+	// (at the earliest).
+	Generation uint64 `json:"generation"`
+}
+
+// ErrQueueFull is reported when the feedback queue cannot absorb another
+// item; the client should retry later.
+var ErrQueueFull = fmt.Errorf("serve: feedback queue full")
+
+// Feedback validates and enqueues one feedback run for the background
+// adaptive-update loop. It never blocks on training.
+func (s *Server) Feedback(req FeedbackRequest) (FeedbackResponse, error) {
+	app, env, err := s.resolve(req.App, req.Cluster)
+	if err != nil {
+		return FeedbackResponse{}, err
+	}
+	if req.SizeMB <= 0 {
+		req.SizeMB = app.Sizes.Test
+	}
+	cfg, err := ConfigFromMap(req.Config)
+	if err != nil {
+		return FeedbackResponse{}, err
+	}
+	cfg = core.ForceFeasible(cfg, env)
+	item := feedbackItem{app: app, req: req, cfg: cfg, env: env}
+	select {
+	case s.feedbackCh <- item:
+		s.reg.Counter("lite_feedback_total").Inc()
+		s.reg.Gauge("lite_feedback_queue_depth").Set(float64(len(s.feedbackCh)))
+		return FeedbackResponse{Queued: true, Pending: len(s.feedbackCh), Generation: s.snap.Load().Gen}, nil
+	default:
+		s.reg.Counter("lite_feedback_dropped_total").Inc()
+		return FeedbackResponse{}, ErrQueueFull
+	}
+}
+
+// updateLoop consumes the feedback queue, executes the reported runs to
+// collect stage-level instances, and every UpdateBatch runs retrains a
+// clone of the current model and hot-swaps the published snapshot. The
+// hot path never blocks: readers keep serving the old snapshot until the
+// atomic store.
+func (s *Server) updateLoop() {
+	defer s.wg.Done()
+	var pending []instrument.AppInstance
+	for {
+		select {
+		case item := <-s.feedbackCh:
+			run := instrument.Run(item.app.Spec, item.app.Spec.MakeData(item.req.SizeMB), item.env, item.cfg)
+			pending = append(pending, run)
+			s.reg.Gauge("lite_feedback_queue_depth").Set(float64(len(s.feedbackCh)))
+			if len(pending) >= s.opts.UpdateBatch {
+				s.retrain(pending)
+				pending = nil
+			}
+		case <-s.stopCh:
+			// Fold what arrived before shutdown into one final update so
+			// accepted feedback is not silently discarded — but bound the
+			// work so shutdown stays prompt: at most 2×UpdateBatch runs are
+			// folded, the rest count as dropped.
+			limit := 2 * s.opts.UpdateBatch
+			dropped := 0
+			for {
+				select {
+				case item := <-s.feedbackCh:
+					if len(pending) >= limit {
+						dropped++
+						continue
+					}
+					run := instrument.Run(item.app.Spec, item.app.Spec.MakeData(item.req.SizeMB), item.env, item.cfg)
+					pending = append(pending, run)
+					continue
+				default:
+				}
+				break
+			}
+			if dropped > 0 {
+				s.reg.Counter("lite_feedback_dropped_total").Add(uint64(dropped))
+			}
+			if len(pending) > 0 {
+				s.retrain(pending)
+			}
+			return
+		}
+	}
+}
+
+// retrain clones the published tuner, folds the feedback runs into the
+// clone with Adaptive Model Update (adversarial fine-tuning, paper §IV-B),
+// and publishes the clone as the next generation. Readers are never
+// blocked; the cache is flushed so no stale recommendation outlives the
+// swap.
+func (s *Server) retrain(runs []instrument.AppInstance) {
+	start := s.opts.Now()
+	cur := s.snap.Load()
+	clone := cur.Tuner.CloneForUpdate(s.opts.Seed + int64(cur.Gen) + 1)
+
+	var target []*core.Encoded
+	for i := range runs {
+		target = append(target, clone.EncodeRun(runs[i])...)
+	}
+	rng := rand.New(rand.NewSource(s.opts.Seed + 7919*int64(cur.Gen+1)))
+	core.AdaptiveModelUpdate(clone.Model, s.opts.SourceSample, target, clone.AMU, rng)
+
+	// Persist before publishing: a generation that readers can observe is
+	// always durable on disk (restart serves exactly what crashed).
+	if s.opts.SnapshotPath != "" {
+		if err := saveTunerAtomic(clone, s.opts.SnapshotPath); err != nil {
+			s.reg.Counter("lite_snapshot_persist_errors_total").Inc()
+			fmt.Fprintf(os.Stderr, "serve: persisting snapshot: %v\n", err)
+		}
+	}
+
+	next := &Snapshot{
+		Tuner:     clone,
+		Gen:       cur.Gen + 1,
+		CreatedAt: s.opts.Now(),
+		Feedbacks: cur.Feedbacks + len(runs),
+	}
+	s.snap.Store(next)
+	s.cache.flush()
+	s.reg.Counter("lite_model_updates_total").Inc()
+	s.reg.Gauge("lite_snapshot_generation").Set(float64(next.Gen))
+	s.reg.Histogram("lite_update_seconds", nil).Observe(s.opts.Now().Sub(start).Seconds())
+}
+
+// saveTunerAtomic persists the tuner via write-to-temp + rename so a
+// crashed write never leaves a torn snapshot file behind.
+func saveTunerAtomic(t *core.Tuner, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".lite-snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := t.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// SimulateOnce executes one run with the given configuration on the named
+// cluster — the "production execution" clients of the demo server use to
+// generate honest feedback (cmd/liteload, examples).
+func SimulateOnce(appName string, sizeMB float64, cluster string, cfg sparksim.Config) (sparksim.Result, error) {
+	app := workload.ByName(appName)
+	if app == nil {
+		return sparksim.Result{}, badRequest("unknown application %q", appName)
+	}
+	env, ok := ClusterByName(cluster)
+	if !ok {
+		return sparksim.Result{}, badRequest("unknown cluster %q", cluster)
+	}
+	if sizeMB <= 0 {
+		sizeMB = app.Sizes.Test
+	}
+	return sparksim.Simulate(app.Spec, app.Spec.MakeData(sizeMB), env, cfg), nil
+}

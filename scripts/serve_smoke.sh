@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Smoke test for liteserve: boot on a random port with a minimal
+# boot-trained model, issue one /recommend and one /feedback request, and
+# assert both return HTTP 200.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+logfile="$workdir/liteserve.log"
+pid=""
+
+cleanup() {
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building liteserve…"
+go build -o "$workdir/liteserve" ./cmd/liteserve
+
+echo "serve-smoke: starting on a random port (quick boot-training)…"
+"$workdir/liteserve" -addr 127.0.0.1:0 -configs 2 -train-sizes 1 >"$logfile" 2>&1 &
+pid=$!
+
+# The server prints "liteserve: listening on http://ADDR (…)" once ready.
+base=""
+for _ in $(seq 1 120); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: liteserve exited early:" >&2
+        cat "$logfile" >&2
+        exit 1
+    fi
+    base="$(sed -n 's|^liteserve: listening on \(http://[^ ]*\).*|\1|p' "$logfile" | head -n1)"
+    [[ -n "$base" ]] && break
+    sleep 0.5
+done
+if [[ -z "$base" ]]; then
+    echo "serve-smoke: server never became ready:" >&2
+    cat "$logfile" >&2
+    exit 1
+fi
+echo "serve-smoke: server ready at $base"
+
+code="$(curl -s -o "$workdir/recommend.json" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' \
+    -d '{"app":"WordCount","size_mb":512,"cluster":"C"}' \
+    "$base/recommend")"
+if [[ "$code" != "200" ]]; then
+    echo "serve-smoke: POST /recommend returned $code" >&2
+    cat "$workdir/recommend.json" >&2
+    exit 1
+fi
+echo "serve-smoke: /recommend 200 ($(head -c 120 "$workdir/recommend.json")…)"
+
+code="$(curl -s -o "$workdir/feedback.json" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' \
+    -d '{"app":"WordCount","size_mb":512,"cluster":"C"}' \
+    "$base/feedback")"
+if [[ "$code" != "200" ]]; then
+    echo "serve-smoke: POST /feedback returned $code" >&2
+    cat "$workdir/feedback.json" >&2
+    exit 1
+fi
+echo "serve-smoke: /feedback 200 ($(cat "$workdir/feedback.json"))"
+
+echo "serve-smoke: OK"
