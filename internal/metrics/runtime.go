@@ -194,37 +194,47 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 // WriteText renders every metric in a Prometheus-compatible exposition
 // format, sorted by name for deterministic output.
 func (r *Registry) WriteText(w io.Writer) error {
+	// Copy name → pointer pairs while holding the lock: Counter/Gauge/
+	// Histogram insert into these maps lazily on the hot path, so iterating
+	// the live maps after unlocking would be a concurrent map read/write.
 	r.mu.Lock()
+	type counter struct {
+		name string
+		c    *Counter
+	}
+	type gauge struct {
+		name string
+		g    *Gauge
+	}
 	type hist struct {
 		name string
 		h    *Histogram
 	}
-	counters := make([]string, 0, len(r.counts))
-	for n := range r.counts {
-		counters = append(counters, n)
+	counters := make([]counter, 0, len(r.counts))
+	for n, c := range r.counts {
+		counters = append(counters, counter{n, c})
 	}
-	gauges := make([]string, 0, len(r.gauges))
-	for n := range r.gauges {
-		gauges = append(gauges, n)
+	gauges := make([]gauge, 0, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges = append(gauges, gauge{n, g})
 	}
 	hists := make([]hist, 0, len(r.hists))
 	for n, h := range r.hists {
 		hists = append(hists, hist{n, h})
 	}
-	counts, gaugeVals := r.counts, r.gauges
 	r.mu.Unlock()
 
-	sort.Strings(counters)
-	sort.Strings(gauges)
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
 	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
 
-	for _, n := range counters {
-		if _, err := fmt.Fprintf(w, "%s %d\n", n, counts[n].Value()); err != nil {
+	for _, cc := range counters {
+		if _, err := fmt.Fprintf(w, "%s %d\n", cc.name, cc.c.Value()); err != nil {
 			return err
 		}
 	}
-	for _, n := range gauges {
-		if _, err := fmt.Fprintf(w, "%s %g\n", n, gaugeVals[n].Value()); err != nil {
+	for _, gg := range gauges {
+		if _, err := fmt.Fprintf(w, "%s %g\n", gg.name, gg.g.Value()); err != nil {
 			return err
 		}
 	}
@@ -241,7 +251,13 @@ func (r *Registry) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", hh.name, hh.h.Sum(), hh.name, hh.h.Count()); err != nil {
+		// The _sum/_count suffix attaches to the base name, before any
+		// labels — `name_sum{a="b"}`, never `name{a="b"}_sum`.
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + strings.TrimSuffix(labels, ",") + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n", base, suffix, hh.h.Sum(), base, suffix, hh.h.Count()); err != nil {
 			return err
 		}
 	}

@@ -96,10 +96,56 @@ func TestRegistryWriteText(t *testing.T) {
 		`http_requests_total{endpoint="recommend",code="200"} 3`,
 		"snapshot_generation 2",
 		`http_request_seconds_bucket{endpoint="recommend",le="0.1"} 1`,
-		`http_request_seconds{endpoint="recommend"}_count 1`,
+		`http_request_seconds_sum{endpoint="recommend"} 0.05`,
+		`http_request_seconds_count{endpoint="recommend"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
 		}
 	}
+	// The suffix must land before the label braces, never after.
+	if strings.Contains(out, `}_count`) || strings.Contains(out, `}_sum`) {
+		t.Fatalf("suffix after label braces is invalid exposition format:\n%s", out)
+	}
 }
+
+// TestRegistryWriteTextConcurrentCreate scrapes the registry while metrics
+// are being created lazily — under -race this catches WriteText reading the
+// live maps outside the registry lock.
+func TestRegistryWriteTextConcurrentCreate(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter(names[(g*1000+i)%len(names)]).Inc()
+				r.Gauge(names[(g*1000+i+1)%len(names)]).Set(1)
+				r.Histogram(names[(g*1000+i+2)%len(names)], nil).Observe(0.01)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+var names = func() []string {
+	out := make([]string, 512)
+	for i := range out {
+		out[i] = "m" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+	}
+	return out
+}()

@@ -13,6 +13,7 @@ type ttlCache struct {
 	now func() time.Time
 
 	mu       sync.Mutex
+	minGen   uint64 // entries from generations below this are never cached
 	entries  map[string]cacheEntry
 	inflight map[string]*flightCall
 }
@@ -59,7 +60,10 @@ func (c *ttlCache) getOrDo(key string, fn func() (RecommendResponse, error)) (re
 	call.resp, call.err = fn()
 	c.mu.Lock()
 	delete(c.inflight, key)
-	if call.err == nil {
+	// A compute that was in flight across a hot-swap carries the previous
+	// snapshot's generation; flush already raised minGen, so the stale
+	// result is handed to its waiters but never cached.
+	if call.err == nil && call.resp.Generation >= c.minGen {
 		c.entries[key] = cacheEntry{resp: call.resp, expires: c.now().Add(c.ttl)}
 	}
 	c.mu.Unlock()
@@ -67,13 +71,15 @@ func (c *ttlCache) getOrDo(key string, fn func() (RecommendResponse, error)) (re
 	return call.resp, false, false, call.err
 }
 
-// flush drops every cached entry (called on model hot-swap: a new
-// generation must not serve the old generation's recommendations).
-// In-flight computations are left alone; they complete against the
-// snapshot they loaded and their entries may be flushed again by the next
-// swap — a response is always internally consistent with one snapshot.
-func (c *ttlCache) flush() {
+// flush drops every cached entry and bars entries from generations older
+// than minGen from ever being inserted (called on model hot-swap with the
+// new snapshot's generation: a compute that straddled the swap must not
+// park a previous-generation recommendation in the cache for a full TTL).
+func (c *ttlCache) flush(minGen uint64) {
 	c.mu.Lock()
+	if minGen > c.minGen {
+		c.minGen = minGen
+	}
 	c.entries = map[string]cacheEntry{}
 	c.mu.Unlock()
 }

@@ -32,10 +32,43 @@ func TestCacheTTLExpiry(t *testing.T) {
 	if calls != 2 {
 		t.Fatalf("fn called %d times, want 2", calls)
 	}
-	c.flush()
+	c.flush(0)
 	c.getOrDo("k", fn)
 	if calls != 3 {
 		t.Fatalf("flush did not evict (calls=%d)", calls)
+	}
+}
+
+// TestCacheStaleGenerationNotInserted models a compute that straddles a
+// model hot-swap: flush(newGen) lands while the compute is in flight, so
+// the previous-generation result must be returned to its waiters but never
+// cached.
+func TestCacheStaleGenerationNotInserted(t *testing.T) {
+	c := newTTLCache(time.Minute, time.Now)
+	calls := 0
+	stale := func() (RecommendResponse, error) {
+		calls++
+		c.flush(1) // hot-swap to generation 1 mid-compute
+		return RecommendResponse{Tier: "necs", Generation: 0}, nil
+	}
+	if _, hit, _, err := c.getOrDo("k", stale); err != nil || hit {
+		t.Fatalf("leader compute: hit=%v err=%v", hit, err)
+	}
+	if c.len() != 0 {
+		t.Fatalf("stale-generation entry was cached (%d entries)", c.len())
+	}
+	fresh := func() (RecommendResponse, error) {
+		calls++
+		return RecommendResponse{Tier: "necs", Generation: 1}, nil
+	}
+	if _, hit, _, _ := c.getOrDo("k", fresh); hit {
+		t.Fatal("stale entry served after flush")
+	}
+	if _, hit, _, _ := c.getOrDo("k", fresh); !hit {
+		t.Fatal("current-generation entry must be cached")
+	}
+	if calls != 2 {
+		t.Fatalf("fn called %d times, want 2", calls)
 	}
 }
 

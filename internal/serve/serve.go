@@ -24,6 +24,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -198,7 +199,11 @@ type RecommendRequest struct {
 
 // RecommendResponse is the JSON answer to /recommend.
 type RecommendResponse struct {
-	App     string  `json:"app"`
+	App string `json:"app"`
+	// SizeMB echoes the caller's requested datasize. Config and
+	// PredictedSeconds are bucket-granular: they are computed at the size
+	// bucket's canonical size (its power-of-two upper bound), so every
+	// request sharing a cache/batch key receives one consistent answer.
 	SizeMB  float64 `json:"size_mb"`
 	Cluster string  `json:"cluster"`
 	// Config maps knob name → recommended value.
@@ -244,6 +249,13 @@ func sizeBucket(sizeMB float64) int {
 	}
 	return b
 }
+
+// bucketSizeMB is the canonical size every request in bucket b is scored
+// at: the bucket's inclusive upper bound (2^b MB). Scoring at one
+// representative size per bucket means a response shared through the cache
+// or the batcher corresponds to the same computation for every caller,
+// rather than to whichever caller happened to lead.
+func bucketSizeMB(b int) float64 { return math.Exp2(float64(b)) }
 
 // envFingerprint identifies an environment for cache keying: the hardware
 // profile plus whether faults are active (fault-injecting and clean
@@ -297,12 +309,18 @@ func (s *Server) Recommend(req RecommendRequest) (RecommendResponse, error) {
 	}
 	key := requestKey(app.Spec.Name, req.SizeMB, env)
 
+	// Score at the bucket's canonical size, not the (leader's) exact size:
+	// every request sharing this key gets an answer computed for the same
+	// input, and SizeMB is restored to the caller's value below.
+	scoreReq := req
+	scoreReq.SizeMB = bucketSizeMB(sizeBucket(req.SizeMB))
+
 	compute := func() (RecommendResponse, error) {
 		if s.opts.DisableBatcher {
-			return s.score(app, req, env)
+			return s.score(app, scoreReq, env)
 		}
 		return s.batch.submit(key, func() (RecommendResponse, error) {
-			return s.score(app, req, env)
+			return s.score(app, scoreReq, env)
 		})
 	}
 
@@ -325,6 +343,9 @@ func (s *Server) Recommend(req RecommendRequest) (RecommendResponse, error) {
 	if err != nil {
 		return RecommendResponse{}, err
 	}
+	// resp may be shared with other callers in the same bucket; it is a
+	// value copy, so restoring this caller's size does not leak across.
+	resp.SizeMB = req.SizeMB
 	resp.OverheadMS = float64(s.opts.Now().Sub(start)) / float64(time.Millisecond)
 	return resp, nil
 }

@@ -207,9 +207,48 @@ func TestFeedbackQueueFull(t *testing.T) {
 	}
 }
 
+// TestBucketSharersGetConsistentAnswers: two different sizes in one bucket
+// must receive the same config/prediction (computed at the bucket's
+// canonical size), while each response's size_mb echoes what its caller
+// asked for — never the leader's size.
+func TestBucketSharersGetConsistentAnswers(t *testing.T) {
+	s := newTestServer(t, Options{})
+	r600, err := s.Recommend(RecommendRequest{App: "WordCount", SizeMB: 600, Cluster: "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1000, err := s.Recommend(RecommendRequest{App: "WordCount", SizeMB: 1000, Cluster: "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1000.Cached {
+		t.Fatal("1000 MB shares 600 MB's bucket and must hit its cache entry")
+	}
+	if r600.SizeMB != 600 || r1000.SizeMB != 1000 {
+		t.Fatalf("size_mb must echo the caller's request: got %g and %g", r600.SizeMB, r1000.SizeMB)
+	}
+	for name, v := range r600.Config {
+		if r1000.Config[name] != v {
+			t.Fatalf("bucket sharers disagree on knob %s: %g vs %g", name, v, r1000.Config[name])
+		}
+	}
+	if (r600.PredictedSeconds == nil) != (r1000.PredictedSeconds == nil) {
+		t.Fatal("bucket sharers disagree on prediction presence")
+	}
+	if r600.PredictedSeconds != nil && *r600.PredictedSeconds != *r1000.PredictedSeconds {
+		t.Fatalf("bucket sharers disagree on prediction: %g vs %g", *r600.PredictedSeconds, *r1000.PredictedSeconds)
+	}
+}
+
 func TestSizeBucketAndKeys(t *testing.T) {
 	if sizeBucket(900) != sizeBucket(1000) {
 		t.Fatal("900 MB and 1000 MB should share a bucket")
+	}
+	if got := bucketSizeMB(sizeBucket(600)); got != 1024 {
+		t.Fatalf("canonical size for the 600 MB bucket = %g, want 1024", got)
+	}
+	if got := bucketSizeMB(sizeBucket(512)); got != 512 {
+		t.Fatalf("powers of two are their own canonical size: got %g for 512", got)
 	}
 	if sizeBucket(1024) == sizeBucket(100*1024) {
 		t.Fatal("1 GB and 100 GB must not share a bucket")

@@ -148,7 +148,7 @@ func (s *Server) retrain(runs []instrument.AppInstance) {
 		Feedbacks: cur.Feedbacks + len(runs),
 	}
 	s.snap.Store(next)
-	s.cache.flush()
+	s.cache.flush(next.Gen)
 	s.reg.Counter("lite_model_updates_total").Inc()
 	s.reg.Gauge("lite_snapshot_generation").Set(float64(next.Gen))
 	s.reg.Histogram("lite_update_seconds", nil).Observe(s.opts.Now().Sub(start).Seconds())
