@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify serve-smoke bench clean
+.PHONY: build test vet race verify serve-smoke bench bench-parallel clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,11 @@ serve-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x -timeout 45m
+
+# bench-parallel runs only the scoring/training parallelism benchmarks and
+# writes BENCH_parallel.json (see DESIGN.md §7 and README "Performance").
+bench-parallel:
+	./scripts/bench.sh
 
 clean:
 	$(GO) clean ./...

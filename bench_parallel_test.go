@@ -1,0 +1,103 @@
+// Benchmarks for the parallel scoring and training engine (see DESIGN.md
+// §7). These are what scripts/bench.sh runs to produce BENCH_parallel.json:
+// recommend latency at several pool widths, and Fit throughput at several
+// replica counts. A small dedicated fixture keeps them fast enough for a CI
+// smoke run (-benchtime=1x); the paper-scale benchmarks live in
+// bench_test.go. Run with:
+//
+//	go test -run '^$' -bench 'BenchmarkRecommend|BenchmarkFit' -benchtime 3x
+package lite
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"lite/internal/core"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+var (
+	parBenchOnce  sync.Once
+	parBenchTuner *core.Tuner
+	parBenchData  *core.Dataset
+)
+
+// parBench trains one small tuner shared by all parallel benchmarks (the
+// point is scoring/fit throughput, not model quality).
+func parBench() (*core.Tuner, *core.Dataset) {
+	parBenchOnce.Do(func() {
+		apps := []*workload.App{
+			workload.ByName("WordCount"),
+			workload.ByName("KMeans"),
+			workload.ByName("PageRank"),
+		}
+		opts := core.DefaultTrainOptions()
+		opts.Collect.ConfigsPerInstance = 2
+		opts.Collect.Sizes = []int{0}
+		opts.Collect.Clusters = []sparksim.Environment{sparksim.ClusterC}
+		opts.NECS.Epochs = 2
+		parBenchTuner, parBenchData = core.Train(apps, opts)
+		parBenchTuner.NumCandidates = 64
+	})
+	return parBenchTuner, parBenchData
+}
+
+// BenchmarkRecommend measures one online recommendation (sample 64
+// candidates from the ACG region, score each with NECS, rank) at several
+// scoring-pool widths. The serial/1 case is the pre-pool baseline.
+func BenchmarkRecommend(b *testing.B) {
+	tuner, _ := parBench()
+	app := workload.ByName("WordCount")
+	data := app.Spec.MakeData(app.Sizes.Train[0])
+	env := sparksim.ClusterC
+
+	widths := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			core.SetScoreWorkers(w)
+			defer core.SetScoreWorkers(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := tuner.Recommend(app.Spec, data, env)
+				if len(rec.Ranked) != 64 {
+					b.Fatalf("ranked %d candidates, want 64", len(rec.Ranked))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFit measures NECS training throughput over the shared dataset:
+// replicas=0 is the historical serial loop, replicas=1 the parallel engine's
+// bit-identical mode, higher counts the data-parallel regime (one averaged
+// step per K batches).
+func BenchmarkFit(b *testing.B) {
+	tuner, ds := parBench()
+	encoded := core.EncodeAll(tuner.Model.Encoder, ds.Instances)
+
+	for _, k := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", k), func(b *testing.B) {
+			cfg := tuner.Model.Cfg
+			cfg.Epochs = 2
+			cfg.FitWorkers = k
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rng := rand.New(rand.NewSource(1))
+				m := core.NewNECS(tuner.Model.Encoder, cfg, rng)
+				b.StartTimer()
+				m.Fit(encoded, rng)
+			}
+			b.ReportMetric(float64(len(encoded)*cfg.Epochs)/b.Elapsed().Seconds()/float64(b.N), "inst/s")
+		})
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"lite/internal/core"
 	"lite/internal/experiments"
 )
 
@@ -30,12 +31,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	configs := flag.Int("configs", 8, "sampled configurations per (app,size,cluster) in training")
 	candidates := flag.Int("candidates", 20, "candidates per gold ranking case")
+	workers := flag.Int("workers", 0, "candidate-scoring goroutines (0 = GOMAXPROCS, 1 = serial)")
+	fitWorkers := flag.Int("fit-workers", 0, "data-parallel training replicas (0 = serial, bit-identical to historical runs)")
 	flag.Parse()
+
+	core.SetScoreWorkers(*workers)
 
 	opts := experiments.DefaultOptions()
 	opts.Seed = *seed
 	opts.ConfigsPerInstance = *configs
 	opts.GoldCandidates = *candidates
+	opts.NECS.FitWorkers = *fitWorkers
 	suite := experiments.NewSuite(opts)
 
 	runners := map[string]func() string{

@@ -49,9 +49,15 @@ func main() {
 	updateBatch := flag.Int("update-batch", 8, "feedback runs per adaptive model update")
 	snapshotPath := flag.String("snapshot", "", "persist each published model snapshot to this file")
 	sourceSampleN := flag.Int("source-sample", 256, "source-domain instances mixed into each update (0 with -model)")
+	workers := flag.Int("workers", 0, "candidate-scoring goroutines (0 = GOMAXPROCS, 1 = serial)")
+	fitWorkers := flag.Int("fit-workers", 0, "data-parallel training replicas for boot-train and adaptive updates (0 = serial)")
 	flag.Parse()
 
-	tuner, source, err := loadOrTrain(*modelPath, *configs, *trainSizes, *seed, *sourceSampleN)
+	// Resize the scoring pool before boot-training so the first model's
+	// recommendations already fan out.
+	core.SetScoreWorkers(*workers)
+
+	tuner, source, err := loadOrTrain(*modelPath, *configs, *trainSizes, *seed, *sourceSampleN, *fitWorkers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -67,6 +73,7 @@ func main() {
 		SourceSample:   source,
 		SnapshotPath:   *snapshotPath,
 		Seed:           *seed,
+		FitWorkers:     *fitWorkers,
 	})
 	s.Start()
 
@@ -108,7 +115,7 @@ func main() {
 // loadOrTrain either loads a persisted tuner or trains one at boot with
 // reduced collection settings (serving wants a warm model quickly; a
 // production deployment passes -model).
-func loadOrTrain(modelPath string, configs, trainSizes int, seed int64, sourceN int) (*core.Tuner, []*core.Encoded, error) {
+func loadOrTrain(modelPath string, configs, trainSizes int, seed int64, sourceN, fitWorkers int) (*core.Tuner, []*core.Encoded, error) {
 	if modelPath != "" {
 		f, err := os.Open(modelPath)
 		if err != nil {
@@ -137,6 +144,7 @@ func loadOrTrain(modelPath string, configs, trainSizes int, seed int64, sourceN 
 	opts.Collect.ConfigsPerInstance = configs
 	opts.Collect.Sizes = sizes
 	opts.Seed = seed
+	opts.NECS.FitWorkers = fitWorkers
 	fmt.Printf("liteserve: training at boot (%d apps, %d sizes, %d configs per instance)…\n",
 		len(workload.All()), trainSizes, configs)
 	start := time.Now()

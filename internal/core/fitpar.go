@@ -1,0 +1,207 @@
+package core
+
+// This file implements the data-parallel training engine behind NECS.Fit
+// (and, through the same helpers, AdaptiveModelUpdate): K model replicas
+// each process one mini-batch of a K-batch group concurrently, and the
+// element-wise mean of the surviving replicas' gradients is applied to the
+// primary model with the usual clipping and Adam step.
+//
+// Semantics relative to the serial loop:
+//
+//   - The batch schedule (epoch shuffles, batch boundaries, LR decay) is
+//     identical — the same rng draws happen in the same order.
+//   - K = 1 is bit-identical to serial: a group is one batch, computed on
+//     the primary itself, and averaging one gradient divides by 1.0
+//     (exact). The golden test in fitpar_test.go enforces this.
+//   - K > 1 takes one optimizer step per K batches (at the group's common
+//     starting weights) instead of one per batch — the standard
+//     synchronous data-parallel trade, statistically equivalent for these
+//     batch sizes but not bit-identical.
+//   - Robustness semantics carry over per shard: a replica whose batch
+//     goes non-finite (loss or gradients) is dropped from the average; if
+//     every replica in a group is dropped, the step is skipped, exactly
+//     like the serial NaN-batch skip. Best-epoch snapshot/rollback runs on
+//     the primary unchanged.
+
+import (
+	"math"
+	"math/rand"
+
+	"lite/internal/nn"
+	"lite/internal/tensor"
+)
+
+// instLoss is one instance's contribution to the epoch loss bookkeeping,
+// recorded per shard and replayed in deterministic (shard, instance)
+// order so the K=1 accumulation order matches serial bit for bit.
+type instLoss struct {
+	dl float64 // lv * batchWeight, the serial loop's epochLoss increment
+	w  float64 // the instance's train weight, the epochWeight increment
+}
+
+// shardResult is what one replica reports for its batch of a group.
+type shardResult struct {
+	// ok marks the shard's gradients as finite and usable for averaging.
+	ok bool
+	// records replays the epoch-loss accounting, including the finite
+	// prefix of a batch that later went non-finite (matching serial).
+	records []instLoss
+}
+
+// syncParams copies src's parameter values into dst (same architecture).
+func syncParams(dst, src []*nn.Node) {
+	for i := range dst {
+		copy(dst[i].Value.Data, src[i].Value.Data)
+	}
+}
+
+// averageGradsInto writes the element-wise mean of the contributing
+// replicas' gradients into primary's gradient buffers. replicaParams[r]
+// may alias primary (the primary computes shard 0 itself); the read-all-
+// then-write order per element makes that safe. A replica parameter with
+// a nil gradient counts as zero. With one contributor the "average" is a
+// multiplication by 1.0, which is exact — the K=1 bit-compatibility
+// guarantee rests on this.
+func averageGradsInto(primary []*nn.Node, replicaParams [][]*nn.Node, contrib []int) {
+	inv := 1 / float64(len(contrib))
+	for j, p := range primary {
+		if p.Grad == nil {
+			p.Grad = tensor.New(p.Value.Rows, p.Value.Cols)
+		}
+		out := p.Grad.Data
+		for d := range out {
+			var acc float64
+			for _, r := range contrib {
+				if g := replicaParams[r][j].Grad; g != nil {
+					acc += g.Data[d]
+				}
+			}
+			out[d] = acc * inv
+		}
+	}
+}
+
+// shardBatch runs one replica's mini-batch: forward/backward per instance
+// with the weighted MSE of Equation 4, recording per-instance loss
+// contributions and reporting whether the accumulated gradients are
+// usable. Mirrors one iteration of the serial Fit batch loop exactly.
+func (m *NECS) shardBatch(data []*Encoded, batch []int) shardResult {
+	var batchWeight float64
+	for _, i := range batch {
+		batchWeight += m.trainWeight(data[i])
+	}
+	if batchWeight <= 0 {
+		return shardResult{} // every instance censored away: skip, no records
+	}
+	res := shardResult{ok: true}
+	for _, i := range batch {
+		x := data[i]
+		w := m.trainWeight(x)
+		out, _ := m.Forward(x)
+		loss := nn.Scale(nn.MSELoss(out, x.Y), w/batchWeight)
+		lv := loss.Scalar()
+		if math.IsNaN(lv) || math.IsInf(lv, 0) {
+			res.ok = false // poisoned batch: drop gradients, keep the finite prefix's records
+			break
+		}
+		nn.Backward(loss)
+		res.records = append(res.records, instLoss{dl: lv * batchWeight, w: w})
+	}
+	return res
+}
+
+// fitDataParallel is the FitWorkers >= 1 training path: same schedule and
+// robustness semantics as fitSerial, with each K-batch group sharded
+// across K replicas and the averaged gradients stepping the primary.
+func (m *NECS) fitDataParallel(data []*Encoded, rng *rand.Rand, k int) float64 {
+	params := m.Params()
+	opt := nn.NewAdam(params, m.Cfg.LR)
+
+	// Replica 0 is the primary itself; replicas 1..K-1 are weight clones
+	// sharing the (read-only here) encoder. Clones are reused across
+	// groups and re-synced to the primary before each one.
+	replicas := make([]*NECS, k)
+	replicaParams := make([][]*nn.Node, k)
+	replicas[0], replicaParams[0] = m, params
+	for r := 1; r < k; r++ {
+		replicas[r] = m.Clone()
+		replicaParams[r] = replicas[r].Params()
+	}
+
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	var lastLoss float64
+	bestLoss := math.Inf(1)
+	var bestSnap [][]float64
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		// Step learning-rate decay: ÷2 at 60% and 85% of the schedule.
+		switch {
+		case epoch == m.Cfg.Epochs*85/100:
+			opt.LR = m.Cfg.LR / 4
+		case epoch == m.Cfg.Epochs*60/100:
+			opt.LR = m.Cfg.LR / 2
+		}
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var batches [][]int
+		for start := 0; start < len(idx); start += m.Cfg.BatchSize {
+			end := start + m.Cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batches = append(batches, idx[start:end])
+		}
+		var epochLoss, epochWeight float64
+		for g := 0; g < len(batches); g += k {
+			group := batches[g:min(g+k, len(batches))]
+			for r := 1; r < len(group); r++ {
+				syncParams(replicaParams[r], params)
+			}
+			results := make([]shardResult, len(group))
+			ParallelDo(len(group), func(r int) {
+				nn.ZeroGrads(replicaParams[r])
+				res := replicas[r].shardBatch(data, group[r])
+				if res.ok && !gradsFinite(replicaParams[r]) {
+					res.ok = false
+				}
+				results[r] = res
+			})
+			// Deterministic reduction: shard order, then instance order —
+			// for K=1 this replays the serial accumulation exactly.
+			var contrib []int
+			for r := range results {
+				for _, rec := range results[r].records {
+					epochLoss += rec.dl
+					epochWeight += rec.w
+				}
+				if results[r].ok {
+					contrib = append(contrib, r)
+				}
+			}
+			if len(contrib) == 0 {
+				nn.ZeroGrads(params) // every shard poisoned: skip the step
+				continue
+			}
+			averageGradsInto(params, replicaParams, contrib)
+			nn.ClipGrads(params, 5)
+			opt.Step()
+		}
+		if epochWeight > 0 {
+			lastLoss = epochLoss / epochWeight
+		}
+		finite := !math.IsNaN(lastLoss) && !math.IsInf(lastLoss, 0) && m.paramsFinite()
+		if finite && lastLoss < bestLoss {
+			bestLoss = lastLoss
+			bestSnap = m.snapshotParams()
+		} else if !finite && bestSnap != nil {
+			m.restoreParams(bestSnap)
+			lastLoss = bestLoss
+		}
+	}
+	if !m.paramsFinite() && bestSnap != nil {
+		m.restoreParams(bestSnap)
+		lastLoss = bestLoss
+	}
+	return lastLoss
+}

@@ -148,6 +148,14 @@ func (t *Tuner) RecommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env
 	return t.recommendFrom(app, data, env, cands, start)
 }
 
+// recommendFrom scores a candidate set and ranks it best-first. Scoring
+// fans out across the scoring pool (see pool.go): each worker writes its
+// result into the candidate's index slot, and the final stable sort
+// breaks prediction ties by candidate index — the ranking is therefore
+// deterministic for a given model and candidate order, independent of
+// goroutine scheduling and of the pool width. Callers must hold t.mu
+// (read); start is when the caller began the request, so Overhead covers
+// sampling plus scoring.
 func (t *Tuner) recommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, cands []sparksim.Config, start time.Time) Recommendation {
 	if len(cands) == 0 {
 		// Degenerate candidate set: fall back to the safe default rather
@@ -159,10 +167,13 @@ func (t *Tuner) recommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env
 			Overhead:         time.Since(start),
 		}
 	}
+	// One scorer per recommendation: the shared (app, data, env) stage
+	// features are encoded once, not once per candidate.
+	scorer := t.Model.NewAppScorer(app, data, env)
 	scored := make([]ScoredConfig, len(cands))
-	for i, c := range cands {
-		scored[i] = ScoredConfig{Config: c, Predicted: t.Model.PredictApp(app, data, env, c)}
-	}
+	ParallelDo(len(cands), func(i int) {
+		scored[i] = ScoredConfig{Config: cands[i], Predicted: scorer.Score(cands[i])}
+	})
 	sort.SliceStable(scored, func(a, b int) bool { return scored[a].Predicted < scored[b].Predicted })
 	return Recommendation{
 		Config:           scored[0].Config,
@@ -259,18 +270,32 @@ func (t *Tuner) tryNECSTier(app *sparksim.AppSpec, data sparksim.DataSpec, env s
 		return rec, "model or candidate generator missing"
 	}
 	cands := t.sampleFeasible(app.Name, data, env, t.NumCandidates)
-	scored := make([]ScoredConfig, 0, len(cands))
-	for _, c := range cands {
+	scorer := t.Model.NewAppScorer(app, data, env)
+	// Parallel scoring writes into index slots; a worker panic re-raises
+	// on this goroutine and is absorbed by the recover guard above, so
+	// the degradation chain behaves exactly as it did serially.
+	preds := make([]float64, len(cands))
+	keep := make([]bool, len(cands))
+	ParallelDo(len(cands), func(i int) {
+		c := cands[i]
 		if !sparksim.Feasible(c, env) {
-			continue
+			return
 		}
-		p := t.Model.PredictApp(app, data, env, c)
+		p := scorer.Score(c)
 		// Predicted-failure screening: a candidate the estimator expects
 		// to hit the failure cap (or cannot score finitely) is not served.
 		if math.IsNaN(p) || math.IsInf(p, 0) || p >= sparksim.FailCap {
-			continue
+			return
 		}
-		scored = append(scored, ScoredConfig{Config: c, Predicted: p})
+		preds[i], keep[i] = p, true
+	})
+	// Filter in candidate-index order so the ranking below tie-breaks on
+	// the original index, never on goroutine completion order.
+	scored := make([]ScoredConfig, 0, len(cands))
+	for i, c := range cands {
+		if keep[i] {
+			scored = append(scored, ScoredConfig{Config: c, Predicted: preds[i]})
+		}
 	}
 	if len(scored) == 0 {
 		return rec, "no candidate survived feasibility and predicted-failure screening"

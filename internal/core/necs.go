@@ -49,6 +49,15 @@ type NECSConfig struct {
 	// collapse onto an arbitrary known column.
 	DisableOOV bool
 
+	// FitWorkers selects data-parallel training: Fit shards each group of
+	// K consecutive mini-batches across K model replicas and applies the
+	// averaged gradients to the primary. 0 keeps the historical serial
+	// loop; 1 routes through the parallel engine with a single replica,
+	// which is bit-identical to serial (see TestFitParallelK1Golden);
+	// K > 1 is statistically equivalent but not bit-identical (one
+	// optimizer step per K batches instead of per batch).
+	FitWorkers int
+
 	// CensoredWeight multiplies the training weight of FailCap-censored
 	// instances (runs that failed or exceeded the two-hour cap, whose
 	// label is the cap rather than a true measurement). 0 or 1 leaves them at
@@ -151,26 +160,35 @@ func NewEncoder(train []instrument.StageInstance, cfg NECSConfig) *Encoder {
 	return NewEncoderFromVocabs(vocab, opVocab, cfg)
 }
 
+// stageStatic returns the cached candidate-invariant encoding of a stage
+// — its token ids and DAG matrices — computing and memoizing them on
+// first sight. Safe for concurrent use; the returned slices and tensors
+// are only ever read after insertion.
+func (e *Encoder) stageStatic(code string, ops []string, edges [][2]int) ([]int, *dagEnc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	toks, ok := e.tokCache[code]
+	if !ok {
+		toks = e.Vocab.Encode(code, e.cfg.TokenLen)
+		e.tokCache[code] = toks
+	}
+	key := e.dagByKey(ops, edges)
+	dag, ok := e.dagCache[key]
+	if !ok {
+		dag = &dagEnc{
+			nodes: e.OpVocab.NodeFeatures(ops),
+			aHat:  nn.NormalizeAdjacency(len(ops), edges),
+		}
+		e.dagCache[key] = dag
+	}
+	return toks, dag
+}
+
 // Encode converts a stage instance into model input. It is safe to call
 // from concurrent goroutines (the serving hot path encodes while a
 // background update loop encodes feedback against the same encoder).
 func (e *Encoder) Encode(inst *instrument.StageInstance) *Encoded {
-	e.mu.Lock()
-	toks, ok := e.tokCache[inst.Code]
-	if !ok {
-		toks = e.Vocab.Encode(inst.Code, e.cfg.TokenLen)
-		e.tokCache[inst.Code] = toks
-	}
-	key := e.dagByKey(inst.Ops, inst.Edges)
-	dag, ok := e.dagCache[key]
-	if !ok {
-		dag = &dagEnc{
-			nodes: e.OpVocab.NodeFeatures(inst.Ops),
-			aHat:  nn.NormalizeAdjacency(len(inst.Ops), inst.Edges),
-		}
-		e.dagCache[key] = dag
-	}
-	e.mu.Unlock()
+	toks, dag := e.stageStatic(inst.Code, inst.Ops, inst.Edges)
 	return &Encoded{
 		AppName:    inst.AppName,
 		StageIndex: inst.StageIndex,
@@ -184,7 +202,11 @@ func (e *Encoder) Encode(inst *instrument.StageInstance) *Encoded {
 	}
 }
 
-// NECS is the neural estimator of Figure 3.
+// NECS is the neural estimator of Figure 3. Prediction methods
+// (PredictSeconds, PredictApp, NewAppScorer) only read the weights and are
+// safe for concurrent use with each other; Fit and AdaptiveModelUpdate
+// mutate the weights in place and must not overlap with readers — serving
+// layers train on a Clone and hot-swap (see internal/serve).
 type NECS struct {
 	Cfg     NECSConfig
 	Encoder *Encoder
@@ -328,7 +350,24 @@ func gradsFinite(params []*nn.Node) bool {
 // stepped, and the weights roll back to the best finite epoch snapshot
 // whenever an epoch ends non-finite — a single poisoned sample can never
 // destroy the model. On clean data the arithmetic is unchanged.
+//
+// With Cfg.FitWorkers = K >= 1 the mini-batch loop runs data-parallel:
+// K replicas each process one batch of every K-batch group concurrently
+// and the averaged gradients step the primary (see fitpar.go). K = 1 is
+// bit-identical to the serial loop; K > 1 is statistically equivalent.
+// Fit itself must not be called concurrently with anything that reads or
+// writes this model's weights.
 func (m *NECS) Fit(data []*Encoded, rng *rand.Rand) float64 {
+	if m.Cfg.FitWorkers >= 1 {
+		return m.fitDataParallel(data, rng, m.Cfg.FitWorkers)
+	}
+	return m.fitSerial(data, rng)
+}
+
+// fitSerial is the historical single-goroutine training loop, kept
+// verbatim as the FitWorkers = 0 path and as the golden reference the
+// K = 1 parallel path is tested against.
+func (m *NECS) fitSerial(data []*Encoded, rng *rand.Rand) float64 {
 	params := m.Params()
 	opt := nn.NewAdam(params, m.Cfg.LR)
 	idx := make([]int, len(data))
@@ -408,31 +447,9 @@ func (m *NECS) Fit(data []*Encoded, rng *rand.Rand) float64 {
 // PredictApp estimates the total execution time (seconds) of an application
 // under cfg on the given data and environment by summing stage-level
 // predictions over the expanded stage plan (Equation 5's aggregation).
+// Safe for concurrent use while no goroutine mutates the weights; callers
+// scoring many configurations for one (app, data, env) should build one
+// NewAppScorer and share it instead.
 func (m *NECS) PredictApp(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, cfg sparksim.Config) float64 {
-	plan := app.ExpandedStages(data)
-	// Identical plan entries share one prediction.
-	perStage := map[int]float64{}
-	var total float64
-	for _, si := range plan {
-		sec, ok := perStage[si]
-		if !ok {
-			st := &app.Stages[si]
-			inst := instrument.StageInstance{
-				AppName:    app.Name,
-				AppFamily:  app.Family,
-				StageIndex: si,
-				StageName:  st.Name,
-				Code:       st.Code,
-				Ops:        st.Ops,
-				Edges:      st.Edges,
-				Config:     cfg,
-				Data:       data,
-				Env:        env,
-			}
-			sec = m.PredictSeconds(m.Encoder.Encode(&inst))
-			perStage[si] = sec
-		}
-		total += sec
-	}
-	return total
+	return m.NewAppScorer(app, data, env).Score(cfg)
 }

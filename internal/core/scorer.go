@@ -1,0 +1,96 @@
+package core
+
+// This file implements AppScorer, the per-recommendation scoring context.
+// One online recommendation scores NumCandidates (64 by default)
+// configurations for a single fixed (application, datasize, environment)
+// triple; every per-stage input except the knob-dependent features is
+// identical across those candidates. AppScorer encodes the shared parts
+// exactly once — stage token ids, DAG matrices, data features, environment
+// features — so candidate scoring only computes the candidate-specific
+// dense features and the forward passes, and so parallel workers scoring
+// different candidates never contend on the encoder's memoization mutex.
+
+import (
+	"lite/internal/feature"
+	"lite/internal/sparksim"
+)
+
+// scorerStage is the candidate-invariant encoding of one unique stage of
+// the expanded plan: token ids and DAG matrices out of the encoder cache.
+type scorerStage struct {
+	index int
+	toks  []int
+	dag   *dagEnc
+}
+
+// AppScorer scores candidate configurations for one fixed (application,
+// datasize, environment) request. It is built once per recommendation and
+// is safe for concurrent use by any number of goroutines: after
+// construction it only reads its own precomputed encodings and the
+// (read-only during scoring) model weights. Score(cfg) returns bitwise
+// the same value NECS.PredictApp returns for the same inputs.
+type AppScorer struct {
+	model *NECS
+	// plan is the expanded stage sequence; stages lists each unique stage
+	// in first-appearance order with its static encoding.
+	plan   []int
+	stages []scorerStage
+	// shared is data.Features() ++ env.Features(), the candidate-invariant
+	// middle section of every stage's dense feature vector.
+	shared []float64
+	data   sparksim.DataSpec
+	env    sparksim.Environment
+}
+
+// NewAppScorer precomputes the candidate-invariant encodings for scoring
+// app on data in env. The returned scorer is immutable and safe for
+// concurrent Score calls.
+func (m *NECS) NewAppScorer(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) *AppScorer {
+	plan := app.ExpandedStages(data)
+	s := &AppScorer{model: m, plan: plan, data: data, env: env}
+	s.shared = append(append([]float64{}, data.Features()...), env.Features()...)
+	seen := make(map[int]bool, len(app.Stages))
+	for _, si := range plan {
+		if seen[si] {
+			continue
+		}
+		seen[si] = true
+		st := &app.Stages[si]
+		toks, dag := m.Encoder.stageStatic(st.Code, st.Ops, st.Edges)
+		s.stages = append(s.stages, scorerStage{index: si, toks: toks, dag: dag})
+	}
+	return s
+}
+
+// Score estimates the application's total execution time (seconds) under
+// cfg by summing per-stage NECS predictions over the expanded plan
+// (Equation 5's aggregation), identically to NECS.PredictApp. Safe for
+// concurrent use.
+func (s *AppScorer) Score(cfg sparksim.Config) float64 {
+	// The candidate-dependent dense sections are shared by every stage of
+	// this candidate: compute them once, not once per stage.
+	knobs := cfg.Normalized()
+	derived := feature.DerivedResourceFeatures(cfg, s.data, s.env)
+	perStage := make(map[int]float64, len(s.stages))
+	for _, st := range s.stages {
+		dense := make([]float64, 0, feature.DenseWidth)
+		dense = append(dense, knobs...)
+		dense = append(dense, s.shared...)
+		dense = append(dense, derived...)
+		perStage[st.index] = s.model.PredictSeconds(&Encoded{
+			StageIndex: st.index,
+			TokenIDs:   st.toks,
+			NodeFeats:  st.dag.nodes,
+			AHat:       st.dag.aHat,
+			Dense:      dense,
+			Weight:     1,
+		})
+	}
+	// Sum in plan order, exactly as PredictApp always has, so the
+	// aggregate is bit-identical to the serial path.
+	var total float64
+	for _, si := range s.plan {
+		total += perStage[si]
+	}
+	return total
+}

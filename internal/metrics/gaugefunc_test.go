@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// GaugeFunc values are computed at exposition time, sorted in with stored
+// gauges, and re-registering a name replaces the callback.
+func TestGaugeFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("b_stored").Set(2)
+	v := 1.0
+	r.GaugeFunc("a_func", func() float64 { return v })
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	want := "a_func 1\nb_stored 2\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition = %q, want %q", got, want)
+	}
+
+	// Callback is live: a later scrape sees the new value.
+	v = 7
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(buf.String(), "a_func 7\n") {
+		t.Fatalf("callback not re-evaluated: %q", buf.String())
+	}
+
+	// Re-registering replaces the callback rather than duplicating the line.
+	r.GaugeFunc("a_func", func() float64 { return 42 })
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if got := strings.Count(buf.String(), "a_func "); got != 1 {
+		t.Fatalf("a_func appears %d times", got)
+	}
+	if !strings.Contains(buf.String(), "a_func 42\n") {
+		t.Fatalf("replacement callback not used: %q", buf.String())
+	}
+}
+
+// A callback may itself touch the registry: it runs outside the lock, so a
+// scrape cannot deadlock even if the func reads other metrics.
+func TestGaugeFuncMayReadRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.GaugeFunc("hits_x2", func() float64 { return float64(r.Counter("hits").Value() * 2) })
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			for i := 0; i < 50; i++ {
+				buf.Reset()
+				if err := r.WriteText(&buf); err != nil {
+					t.Errorf("WriteText: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(buf.String(), "hits_x2 6\n") {
+		t.Fatalf("derived gauge wrong: %q", buf.String())
+	}
+}

@@ -137,19 +137,22 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 // Registry is a named collection of runtime metrics with text exposition.
 // Metric names may carry Prometheus-style labels baked into the string,
-// e.g. `http_requests_total{endpoint="recommend",code="200"}`.
+// e.g. `http_requests_total{endpoint="recommend",code="200"}`. All
+// methods are safe for concurrent use.
 type Registry struct {
 	mu     sync.Mutex
 	counts map[string]*Counter
 	gauges map[string]*Gauge
+	funcs  map[string]func() float64
 	hists  map[string]*Histogram
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry, ready for concurrent use.
 func NewRegistry() *Registry {
 	return &Registry{
 		counts: map[string]*Counter{},
 		gauges: map[string]*Gauge{},
+		funcs:  map[string]func() float64{},
 		hists:  map[string]*Histogram{},
 	}
 }
@@ -176,6 +179,17 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time (e.g. the scoring pool's current utilization). Registering the
+// same name again replaces the callback. fn must be safe to call from any
+// goroutine; it is invoked outside the registry lock, so it may itself
+// read other metrics or locked state.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
 }
 
 // Histogram returns the histogram with the given name, creating it with the
@@ -218,14 +232,32 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for n, g := range r.gauges {
 		gauges = append(gauges, gauge{n, g})
 	}
+	funcs := make(map[string]func() float64, len(r.funcs))
+	for n, fn := range r.funcs {
+		funcs[n] = fn
+	}
 	hists := make([]hist, 0, len(r.hists))
 	for n, h := range r.hists {
 		hists = append(hists, hist{n, h})
 	}
 	r.mu.Unlock()
 
+	// Gauge callbacks are evaluated here, outside the registry lock, and
+	// merged with the stored gauges into one sorted section.
+	type gaugeLine struct {
+		name  string
+		value float64
+	}
+	lines := make([]gaugeLine, 0, len(gauges)+len(funcs))
+	for _, gg := range gauges {
+		lines = append(lines, gaugeLine{gg.name, gg.g.Value()})
+	}
+	for n, fn := range funcs {
+		lines = append(lines, gaugeLine{n, fn()})
+	}
+
 	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
-	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
 	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
 
 	for _, cc := range counters {
@@ -233,8 +265,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	for _, gg := range gauges {
-		if _, err := fmt.Fprintf(w, "%s %g\n", gg.name, gg.g.Value()); err != nil {
+	for _, gl := range lines {
+		if _, err := fmt.Fprintf(w, "%s %g\n", gl.name, gl.value); err != nil {
 			return err
 		}
 	}

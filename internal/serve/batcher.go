@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"lite/internal/core"
 	"lite/internal/metrics"
 )
 
@@ -146,14 +147,26 @@ func (b *batcher) process(batch []*batchReq) {
 	}
 	b.keys.Observe(float64(len(order)))
 
-	for _, key := range order {
-		reqs := byKey[key]
-		resp, err := reqs[0].compute()
-		for i, r := range reqs {
-			if i > 0 {
+	// Score distinct keys concurrently on the shared scoring pool. Each
+	// compute() itself fans its candidates out on the same pool; ParallelDo
+	// degrades to inline execution when no worker slot is free, so the
+	// nesting cannot deadlock. Results land in key order, then fan out.
+	type keyed struct {
+		resp RecommendResponse
+		err  error
+	}
+	results := make([]keyed, len(order))
+	core.ParallelDo(len(order), func(i int) {
+		resp, err := byKey[order[i]][0].compute()
+		results[i] = keyed{resp: resp, err: err}
+	})
+
+	for i, key := range order {
+		for j, r := range byKey[key] {
+			if j > 0 {
 				b.shared.Inc()
 			}
-			r.done <- batchResult{resp: resp, err: err, batchSize: len(batch), coalesced: i > 0}
+			r.done <- batchResult{resp: results[i].resp, err: results[i].err, batchSize: len(batch), coalesced: j > 0}
 		}
 	}
 }

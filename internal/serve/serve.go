@@ -66,6 +66,21 @@ type Options struct {
 	// drift off the training distribution. Optional.
 	SourceSample []*core.Encoded
 
+	// ScoreWorkers resizes the process-wide candidate-scoring pool
+	// (core.SetScoreWorkers) at construction: recommendations fan their
+	// 64-candidate NECS scoring across this many goroutines, and the
+	// batcher scores distinct keys of one batch concurrently under the
+	// same bound. 0 leaves the pool at its default, GOMAXPROCS; 1 forces
+	// serial scoring. Rankings are deterministic at any width.
+	ScoreWorkers int
+
+	// FitWorkers is the number of data-parallel replicas each adaptive
+	// model update trains with (core.AMUConfig.Workers). 0 keeps the
+	// serial update; 1 is bit-identical to serial through the parallel
+	// engine; K > 1 is statistically equivalent and ~K× faster on ≥ K
+	// cores.
+	FitWorkers int
+
 	// SnapshotPath, when set, persists every published snapshot's tuner
 	// there (write-to-temp + rename), so a restarted server can reload the
 	// adapted model with core.LoadTuner.
@@ -118,7 +133,9 @@ type Snapshot struct {
 	Feedbacks int
 }
 
-// Server is the concurrent LITE recommendation service.
+// Server is the concurrent LITE recommendation service. All exported
+// methods are safe for concurrent use; the hot path (Recommend) reads an
+// immutable snapshot and never blocks on training.
 type Server struct {
 	opts  Options
 	snap  atomic.Pointer[Snapshot]
@@ -142,8 +159,12 @@ type feedbackItem struct {
 
 // New builds a server around an offline-trained tuner (generation 0).
 // Call Start to launch the adaptive-update loop, and Shutdown to stop.
+// The returned server's exported methods are all safe for concurrent use.
 func New(tuner *core.Tuner, opts Options) *Server {
 	opts = opts.withDefaults()
+	if opts.ScoreWorkers > 0 {
+		core.SetScoreWorkers(opts.ScoreWorkers)
+	}
 	s := &Server{
 		opts:       opts,
 		reg:        metrics.NewRegistry(),
@@ -154,13 +175,27 @@ func New(tuner *core.Tuner, opts Options) *Server {
 	s.cache = newTTLCache(opts.CacheTTL, opts.Now)
 	s.batch = newBatcher(opts.BatchMax, opts.BatchWindow, s.reg)
 	s.reg.Gauge("lite_snapshot_generation").Set(0)
+	// Scoring-pool depth and utilization, evaluated at scrape time.
+	s.reg.GaugeFunc("lite_score_pool_workers", func() float64 {
+		return float64(core.ScorePoolStats().Workers)
+	})
+	s.reg.GaugeFunc("lite_score_pool_busy", func() float64 {
+		return float64(core.ScorePoolStats().Busy)
+	})
+	s.reg.GaugeFunc("lite_score_pool_utilization", func() float64 {
+		return core.ScorePoolStats().Utilization
+	})
+	s.reg.GaugeFunc("lite_score_pool_items_total", func() float64 {
+		return float64(core.ScorePoolStats().Items)
+	})
 	return s
 }
 
-// Metrics returns the server's metrics registry.
+// Metrics returns the server's metrics registry. Safe for concurrent use.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
-// Snapshot returns the currently published model snapshot.
+// Snapshot returns the currently published model snapshot; the returned
+// value is immutable and safe to read from any goroutine.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
 // Start launches the background adaptive-update loop and the batcher.
@@ -230,6 +265,7 @@ type RecommendResponse struct {
 // RequestError is a client error (unknown app/cluster, bad payload).
 type RequestError struct{ msg string }
 
+// Error implements the error interface.
 func (e *RequestError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) error {
