@@ -5,14 +5,16 @@ GO ?= go
 build:
 	$(GO) build ./...
 
+# Tests run shuffled so accidental inter-test ordering dependencies
+# (shared state, leftover goroutines) surface in CI instead of in prod.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # verify is the tier-1 gate plus the serving-stack race check: everything
 # must compile, every test pass, and the concurrent read/hot-swap paths
@@ -20,8 +22,8 @@ race:
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test ./...
-	$(GO) test -race ./internal/serve/... ./internal/core/...
+	$(GO) test -shuffle=on ./...
+	$(GO) test -race -shuffle=on ./internal/serve/... ./internal/core/...
 
 # serve-smoke boots liteserve on a random port, issues one /recommend and
 # one /feedback request, and asserts both return 200.

@@ -14,10 +14,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"sort"
@@ -36,12 +39,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (traffic shape and training)")
 	configs := flag.Int("configs", 3, "training configurations per instance (in-process mode)")
 	url := flag.String("url", "", "drive a running liteserve instead of in-process servers")
+	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = none); timed-out requests count in the deadline column")
+	maxInFlight := flag.Int("max-inflight", 0, "in-process passes: shed load beyond this many concurrent requests (0 = unbounded)")
 	flag.Parse()
 
 	reqs := makeTraffic(*n, *keys, *seed)
 
 	if *url != "" {
-		res := runRemote(*url, reqs, *c)
+		res := runRemote(*url, reqs, *c, *timeout)
 		printReport([]pass{{name: "remote", res: res, n: *n}})
 		return
 	}
@@ -52,24 +57,26 @@ func main() {
 	baseline := serve.New(tuner.CloneForUpdate(*seed), serve.Options{
 		DisableCache:   true,
 		DisableBatcher: true,
+		MaxInFlight:    *maxInFlight,
 		SourceSample:   source,
 		Seed:           *seed,
 	})
 	baseline.Start()
 	fmt.Fprintf(os.Stderr, "pass 1/2: cache+batcher disabled (%d requests, %d workers)…\n", *n, *c)
-	resBase := runLocal(baseline, reqs, *c)
+	resBase := runLocal(baseline, reqs, *c, *timeout)
 	shutdown(baseline)
 
 	full := serve.New(tuner.CloneForUpdate(*seed), serve.Options{
 		CacheTTL:     30 * time.Second,
 		BatchMax:     16,
 		BatchWindow:  2 * time.Millisecond,
+		MaxInFlight:  *maxInFlight,
 		SourceSample: source,
 		Seed:         *seed,
 	})
 	full.Start()
 	fmt.Fprintf(os.Stderr, "pass 2/2: cache+batcher enabled…\n")
-	resFull := runLocal(full, reqs, *c)
+	resFull := runLocal(full, reqs, *c, *timeout)
 	shutdown(full)
 
 	printReport([]pass{
@@ -126,6 +133,8 @@ type runResult struct {
 	lats      []time.Duration
 	wall      time.Duration
 	errors    int
+	deadline  int
+	shed      int
 	cached    int
 	coalesced int
 	batchMax  int
@@ -133,7 +142,21 @@ type runResult struct {
 	batchN    int
 }
 
-func runLocal(s *serve.Server, reqs []serve.RecommendRequest, workers int) runResult {
+// countErr classifies one failed request (caller holds the mutex):
+// deadline/cancel and shed failures are the expected overload surface and
+// get their own columns; anything else is a hard error.
+func countErr(res *runResult, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		res.deadline++
+	case errors.Is(err, serve.ErrOverloaded):
+		res.shed++
+	default:
+		res.errors++
+	}
+}
+
+func runLocal(s *serve.Server, reqs []serve.RecommendRequest, workers int, timeout time.Duration) runResult {
 	var mu sync.Mutex
 	res := runResult{}
 	idx := make(chan int)
@@ -144,13 +167,19 @@ func runLocal(s *serve.Server, reqs []serve.RecommendRequest, workers int) runRe
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, timeout)
+				}
 				t0 := time.Now()
-				resp, err := s.Recommend(reqs[i])
+				resp, err := s.RecommendCtx(ctx, reqs[i])
 				lat := time.Since(t0)
+				cancel()
 				mu.Lock()
 				res.lats = append(res.lats, lat)
 				if err != nil {
-					res.errors++
+					countErr(&res, err)
 				} else {
 					record(&res, resp)
 				}
@@ -167,12 +196,15 @@ func runLocal(s *serve.Server, reqs []serve.RecommendRequest, workers int) runRe
 	return res
 }
 
-func runRemote(url string, reqs []serve.RecommendRequest, workers int) runResult {
+func runRemote(url string, reqs []serve.RecommendRequest, workers int, timeout time.Duration) runResult {
 	var mu sync.Mutex
 	res := runResult{}
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	client := &http.Client{Timeout: 60 * time.Second}
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -185,7 +217,9 @@ func runRemote(url string, reqs []serve.RecommendRequest, workers int) runResult
 				lat := time.Since(t0)
 				var resp serve.RecommendResponse
 				ok := err == nil && httpRes.StatusCode == http.StatusOK
+				var status int
 				if err == nil {
+					status = httpRes.StatusCode
 					if ok {
 						ok = json.NewDecoder(httpRes.Body).Decode(&resp) == nil
 					}
@@ -193,10 +227,17 @@ func runRemote(url string, reqs []serve.RecommendRequest, workers int) runResult
 				}
 				mu.Lock()
 				res.lats = append(res.lats, lat)
-				if !ok {
-					res.errors++
-				} else {
+				switch {
+				case ok:
 					record(&res, resp)
+				case err != nil && isTimeout(err):
+					res.deadline++
+				case status == http.StatusGatewayTimeout:
+					res.deadline++
+				case status == http.StatusServiceUnavailable:
+					res.shed++
+				default:
+					res.errors++
 				}
 				mu.Unlock()
 			}
@@ -209,6 +250,17 @@ func runRemote(url string, reqs []serve.RecommendRequest, workers int) runResult
 	wg.Wait()
 	res.wall = time.Since(start)
 	return res
+}
+
+// isTimeout reports whether a remote request failed on its client-side
+// deadline (http.Client.Timeout surfaces as a net.Error with Timeout true,
+// not always as a wrapped context.DeadlineExceeded).
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // record folds one response into the result (caller holds the mutex).
@@ -235,8 +287,8 @@ type pass struct {
 }
 
 func printReport(passes []pass) {
-	fmt.Printf("\n%-30s %-8s %-7s %-10s %-10s %-12s %-10s %-11s %s\n",
-		"pass", "reqs", "errors", "p50", "p99", "throughput", "cache-hit", "mean-batch", "max-batch")
+	fmt.Printf("\n%-30s %-8s %-7s %-9s %-5s %-10s %-10s %-12s %-10s %-11s %s\n",
+		"pass", "reqs", "errors", "deadline", "shed", "p50", "p99", "throughput", "cache-hit", "mean-batch", "max-batch")
 	for _, p := range passes {
 		r := p.res
 		sort.Slice(r.lats, func(a, b int) bool { return r.lats[a] < r.lats[b] })
@@ -249,8 +301,8 @@ func printReport(passes []pass) {
 		if r.batchN > 0 {
 			meanBatch = float64(r.batchSum) / float64(r.batchN)
 		}
-		fmt.Printf("%-30s %-8d %-7d %-10v %-10v %-12s %-10s %-11.2f %d\n",
-			p.name, p.n, r.errors,
+		fmt.Printf("%-30s %-8d %-7d %-9d %-5d %-10v %-10v %-12s %-10s %-11.2f %d\n",
+			p.name, p.n, r.errors, r.deadline, r.shed,
 			roundDur(quantile(r.lats, 0.50)),
 			roundDur(quantile(r.lats, 0.99)),
 			fmt.Sprintf("%.0f/s", float64(served)/r.wall.Seconds()),

@@ -46,6 +46,8 @@ func main() {
 	batchMax := flag.Int("batch-max", 16, "max requests per inference micro-batch")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch latency cutoff")
 	noBatch := flag.Bool("no-batch", false, "disable inference micro-batching")
+	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline for /recommend and /feedback (0 = none); blown deadlines return 504")
+	maxInFlight := flag.Int("max-inflight", 256, "max concurrent requests in the pipeline before load shedding (0 = unbounded); shed requests return 503 + Retry-After")
 	updateBatch := flag.Int("update-batch", 8, "feedback runs per adaptive model update")
 	snapshotPath := flag.String("snapshot", "", "persist each published model snapshot to this file")
 	sourceSampleN := flag.Int("source-sample", 256, "source-domain instances mixed into each update (0 with -model)")
@@ -69,6 +71,8 @@ func main() {
 		BatchMax:       *batchMax,
 		BatchWindow:    *batchWindow,
 		DisableBatcher: *noBatch,
+		RequestTimeout: *requestTimeout,
+		MaxInFlight:    *maxInFlight,
 		UpdateBatch:    *updateBatch,
 		SourceSample:   source,
 		SnapshotPath:   *snapshotPath,

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+func TestParallelDoCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ParallelDoCtx(ctx, 8, func(int) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("fn ran despite a context cancelled before the call")
+	}
+}
+
+// TestParallelDoCtxStopsBetweenItems cancels from inside the first item:
+// every worker checks ctx between items, so the remaining items must be
+// skipped instead of burning the pool — the "abandoned 64-candidate pass"
+// scenario.
+func TestParallelDoCtxStopsBetweenItems(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		SetScoreWorkers(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		var processed atomic.Int64
+		const n = 256
+		err := ParallelDoCtx(ctx, n, func(i int) {
+			processed.Add(1)
+			cancel()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Items already started finish (≤ one per worker after the cancel),
+		// but the bulk of the pass must be skipped.
+		if got := processed.Load(); got >= n/2 {
+			t.Fatalf("workers=%d: %d of %d items processed after cancellation", workers, got, n)
+		}
+	}
+	SetScoreWorkers(0)
+}
+
+func TestParallelDoCtxUncancelledMatchesParallelDo(t *testing.T) {
+	hits := make([]int, 32)
+	if err := ParallelDoCtx(context.Background(), len(hits), func(i int) { hits[i]++ }); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("item %d processed %d times", i, h)
+		}
+	}
+}
+
+// ctxTestTuner trains the smallest useful tuner for cancellation tests.
+func ctxTestTuner(t *testing.T) *Tuner {
+	t.Helper()
+	apps := []*workload.App{workload.ByName("WordCount")}
+	opts := DefaultTrainOptions()
+	opts.Collect.ConfigsPerInstance = 2
+	opts.Collect.Sizes = []int{0}
+	opts.Collect.Clusters = []sparksim.Environment{sparksim.ClusterC}
+	opts.NECS.Epochs = 1
+	tuner, _ := Train(apps, opts)
+	tuner.NumCandidates = 8
+	return tuner
+}
+
+// TestRecommendSafeCtxCancelled: a cancelled context aborts the request
+// with ctx.Err() instead of degrading down the tier chain — cancellation
+// is a caller decision, not a model failure.
+func TestRecommendSafeCtxCancelled(t *testing.T) {
+	tuner := ctxTestTuner(t)
+	app := workload.ByName("WordCount")
+	data := app.Spec.MakeData(256)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sr, err := tuner.RecommendSafeCtx(ctx, app.Spec, data, sparksim.ClusterC)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sr.Tier != "" {
+		t.Fatalf("cancelled request produced tier %q, want none", sr.Tier)
+	}
+
+	// The same request under a live context still answers normally.
+	sr, err = tuner.RecommendSafeCtx(context.Background(), app.Spec, data, sparksim.ClusterC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Tier != TierNECS {
+		t.Fatalf("tier = %q, want %q", sr.Tier, TierNECS)
+	}
+}
+
+func TestRecommendCtxCancelled(t *testing.T) {
+	tuner := ctxTestTuner(t)
+	app := workload.ByName("WordCount")
+	data := app.Spec.MakeData(256)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tuner.RecommendCtx(ctx, app.Spec, data, sparksim.ClusterC); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RecommendCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := tuner.RecommendFromCtx(ctx, app.Spec, data, sparksim.ClusterC,
+		[]sparksim.Config{sparksim.DefaultConfig()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RecommendFromCtx err = %v, want context.Canceled", err)
+	}
+
+	// The context-free wrappers stay equivalent to a Background context.
+	rec := tuner.Recommend(app.Spec, data, sparksim.ClusterC)
+	if len(rec.Ranked) == 0 {
+		t.Fatal("Recommend returned an empty ranking")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -132,20 +133,35 @@ type ScoredConfig struct {
 // stage-level predictions, and return the configuration with the least
 // estimated time (Equation 5).
 func (t *Tuner) Recommend(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) Recommendation {
+	rec, _ := t.RecommendCtx(context.Background(), app, data, env)
+	return rec
+}
+
+// RecommendCtx is Recommend with cooperative cancellation: scoring checks
+// ctx between candidates (ParallelDoCtx), so an abandoned request stops
+// burning pool workers mid-pass. A non-nil error is always ctx.Err().
+func (t *Tuner) RecommendCtx(ctx context.Context, app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) (Recommendation, error) {
 	start := time.Now()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	cands := t.sampleFeasible(app.Name, data, env, t.NumCandidates)
-	return t.recommendFrom(app, data, env, cands, start)
+	return t.recommendFrom(ctx, app, data, env, cands, start)
 }
 
 // RecommendFrom ranks a caller-supplied candidate set (used by experiments
 // that compare sampling strategies).
 func (t *Tuner) RecommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, cands []sparksim.Config) Recommendation {
+	rec, _ := t.RecommendFromCtx(context.Background(), app, data, env, cands)
+	return rec
+}
+
+// RecommendFromCtx is RecommendFrom with cooperative cancellation; a
+// non-nil error is always ctx.Err().
+func (t *Tuner) RecommendFromCtx(ctx context.Context, app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, cands []sparksim.Config) (Recommendation, error) {
 	start := time.Now()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.recommendFrom(app, data, env, cands, start)
+	return t.recommendFrom(ctx, app, data, env, cands, start)
 }
 
 // recommendFrom scores a candidate set and ranks it best-first. Scoring
@@ -153,10 +169,11 @@ func (t *Tuner) RecommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env
 // result into the candidate's index slot, and the final stable sort
 // breaks prediction ties by candidate index — the ranking is therefore
 // deterministic for a given model and candidate order, independent of
-// goroutine scheduling and of the pool width. Callers must hold t.mu
-// (read); start is when the caller began the request, so Overhead covers
-// sampling plus scoring.
-func (t *Tuner) recommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, cands []sparksim.Config, start time.Time) Recommendation {
+// goroutine scheduling and of the pool width. Cancelling ctx aborts the
+// pass between candidates and returns ctx.Err(); partially scored slots
+// are discarded. Callers must hold t.mu (read); start is when the caller
+// began the request, so Overhead covers sampling plus scoring.
+func (t *Tuner) recommendFrom(ctx context.Context, app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, cands []sparksim.Config, start time.Time) (Recommendation, error) {
 	if len(cands) == 0 {
 		// Degenerate candidate set: fall back to the safe default rather
 		// than indexing into an empty ranking.
@@ -165,22 +182,24 @@ func (t *Tuner) recommendFrom(app *sparksim.AppSpec, data sparksim.DataSpec, env
 			Config:           cfg,
 			PredictedSeconds: t.Model.PredictApp(app, data, env, cfg),
 			Overhead:         time.Since(start),
-		}
+		}, nil
 	}
 	// One scorer per recommendation: the shared (app, data, env) stage
 	// features are encoded once, not once per candidate.
 	scorer := t.Model.NewAppScorer(app, data, env)
 	scored := make([]ScoredConfig, len(cands))
-	ParallelDo(len(cands), func(i int) {
+	if err := ParallelDoCtx(ctx, len(cands), func(i int) {
 		scored[i] = ScoredConfig{Config: cands[i], Predicted: scorer.Score(cands[i])}
-	})
+	}); err != nil {
+		return Recommendation{}, err
+	}
 	sort.SliceStable(scored, func(a, b int) bool { return scored[a].Predicted < scored[b].Predicted })
 	return Recommendation{
 		Config:           scored[0].Config,
 		PredictedSeconds: scored[0].Predicted,
 		Ranked:           scored,
 		Overhead:         time.Since(start),
-	}
+	}, nil
 }
 
 // Tier identifies which degradation level produced a safe recommendation.
@@ -221,6 +240,16 @@ type SafeRecommendation struct {
 // is returned only when not even the default configuration fits the
 // environment.
 func (t *Tuner) RecommendSafe(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) (SafeRecommendation, error) {
+	return t.RecommendSafeCtx(context.Background(), app, data, env)
+}
+
+// RecommendSafeCtx is RecommendSafe with cooperative cancellation. A
+// cancelled context aborts the NECS scoring pass between candidates and
+// returns ctx.Err() immediately — cancellation is a caller decision, not a
+// model failure, so it never demotes the request down the degradation
+// chain. A pass that completes before the cancellation lands still returns
+// its recommendation.
+func (t *Tuner) RecommendSafeCtx(ctx context.Context, app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) (SafeRecommendation, error) {
 	start := time.Now()
 	sr := SafeRecommendation{}
 	// A hand-assembled or deserialized tuner may lack an RNG; serving must
@@ -229,11 +258,17 @@ func (t *Tuner) RecommendSafe(app *sparksim.AppSpec, data sparksim.DataSpec, env
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 
-	if rec, note := t.tryNECSTier(app, data, env, start); note == "" {
+	if rec, note := t.tryNECSTier(ctx, app, data, env, start); note == "" {
 		sr.Recommendation = rec
 		sr.Tier = TierNECS
 		return sr, nil
 	} else {
+		// An aborted scoring pass surfaces as a failed tier; distinguish
+		// "the model could not answer" (degrade) from "the caller gave up"
+		// (abort the whole chain).
+		if err := ctx.Err(); err != nil {
+			return sr, err
+		}
 		sr.Notes = append(sr.Notes, "necs: "+note)
 	}
 
@@ -259,8 +294,10 @@ func (t *Tuner) RecommendSafe(app *sparksim.AppSpec, data sparksim.DataSpec, env
 }
 
 // tryNECSTier runs the full pipeline under a recover guard with
-// predicted-failure screening. An empty note means success.
-func (t *Tuner) tryNECSTier(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, start time.Time) (rec Recommendation, note string) {
+// predicted-failure screening. An empty note means success; on a cancelled
+// ctx the pass aborts between candidates and the note reports it (the
+// caller checks ctx.Err() to tell cancellation from model failure).
+func (t *Tuner) tryNECSTier(ctx context.Context, app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment, start time.Time) (rec Recommendation, note string) {
 	defer func() {
 		if r := recover(); r != nil {
 			rec, note = Recommendation{}, fmt.Sprintf("panic: %v", r)
@@ -276,7 +313,7 @@ func (t *Tuner) tryNECSTier(app *sparksim.AppSpec, data sparksim.DataSpec, env s
 	// the degradation chain behaves exactly as it did serially.
 	preds := make([]float64, len(cands))
 	keep := make([]bool, len(cands))
-	ParallelDo(len(cands), func(i int) {
+	err := ParallelDoCtx(ctx, len(cands), func(i int) {
 		c := cands[i]
 		if !sparksim.Feasible(c, env) {
 			return
@@ -289,6 +326,9 @@ func (t *Tuner) tryNECSTier(app *sparksim.AppSpec, data sparksim.DataSpec, env s
 		}
 		preds[i], keep[i] = p, true
 	})
+	if err != nil {
+		return rec, fmt.Sprintf("scoring aborted: %v", err)
+	}
 	// Filter in candidate-index order so the ranking below tie-breaks on
 	// the original index, never on goroutine completion order.
 	scored := make([]ScoredConfig, 0, len(cands))

@@ -25,6 +25,7 @@ package core
 //     panicking item happened to run on a helper.
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -111,6 +112,24 @@ func ScorePoolStats() PoolStats {
 // how items are scheduled. If fn panics, the first panic value is
 // re-raised on the calling goroutine after the remaining workers drain.
 func ParallelDo(n int, fn func(int)) {
+	parallelDo(nil, n, fn)
+}
+
+// ParallelDoCtx is ParallelDo with cooperative cancellation: every worker
+// (the caller included) checks ctx between items, so an abandoned fan-out
+// stops recruiting pool capacity as soon as its context is cancelled.
+// It returns ctx.Err() when the run was cut short — items already started
+// finish (fn is never interrupted mid-call), remaining items are skipped
+// and the caller must treat its result slots as unwritten.
+func ParallelDoCtx(ctx context.Context, n int, fn func(int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	parallelDo(ctx.Done(), n, fn)
+	return ctx.Err()
+}
+
+func parallelDo(done <-chan struct{}, n int, fn func(int)) {
 	if n <= 0 {
 		return
 	}
@@ -118,6 +137,13 @@ func ParallelDo(n int, fn func(int)) {
 	p.items.Add(uint64(n))
 	if n == 1 || p.slots == nil {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			fn(i)
 		}
 		return
@@ -131,6 +157,14 @@ func ParallelDo(n int, fn func(int)) {
 	)
 	work := func() {
 		for !aborted.Load() {
+			if done != nil {
+				select {
+				case <-done:
+					aborted.Store(true)
+					return
+				default:
+				}
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return

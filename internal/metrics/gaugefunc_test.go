@@ -19,7 +19,7 @@ func TestGaugeFuncExposition(t *testing.T) {
 	if err := r.WriteText(&buf); err != nil {
 		t.Fatalf("WriteText: %v", err)
 	}
-	want := "a_func 1\nb_stored 2\n"
+	want := "# TYPE a_func gauge\na_func 1\n# TYPE b_stored gauge\nb_stored 2\n"
 	if got := buf.String(); got != want {
 		t.Fatalf("exposition = %q, want %q", got, want)
 	}
@@ -40,7 +40,7 @@ func TestGaugeFuncExposition(t *testing.T) {
 	if err := r.WriteText(&buf); err != nil {
 		t.Fatalf("WriteText: %v", err)
 	}
-	if got := strings.Count(buf.String(), "a_func "); got != 1 {
+	if got := strings.Count("\n"+buf.String(), "\na_func "); got != 1 {
 		t.Fatalf("a_func appears %d times", got)
 	}
 	if !strings.Contains(buf.String(), "a_func 42\n") {

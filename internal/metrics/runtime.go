@@ -206,7 +206,9 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 }
 
 // WriteText renders every metric in a Prometheus-compatible exposition
-// format, sorted by name for deterministic output.
+// format, sorted by name for deterministic output. Each metric family gets
+// one `# TYPE` line (counter, gauge or histogram) ahead of its series, so
+// strict parsers type the series instead of classifying them untyped.
 func (r *Registry) WriteText(w io.Writer) error {
 	// Copy name → pointer pairs while holding the lock: Counter/Gauge/
 	// Histogram insert into these maps lazily on the hot path, so iterating
@@ -256,21 +258,56 @@ func (r *Registry) WriteText(w io.Writer) error {
 		lines = append(lines, gaugeLine{n, fn()})
 	}
 
-	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
-	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
-	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	// Sort by (family, full name), not the raw string: '{' sorts above
+	// letters, so a plain string sort could interleave the labeled series
+	// of one family with another family's — and strict parsers require a
+	// family's series to be consecutive under its # TYPE line (emitted
+	// exactly once per family, not per labeled series).
+	familyOrder := func(a, b string) bool {
+		fa, _ := splitLabels(a)
+		fb, _ := splitLabels(b)
+		if fa != fb {
+			return fa < fb
+		}
+		return a < b
+	}
+	sort.Slice(counters, func(i, j int) bool { return familyOrder(counters[i].name, counters[j].name) })
+	sort.Slice(lines, func(i, j int) bool { return familyOrder(lines[i].name, lines[j].name) })
+	sort.Slice(hists, func(i, j int) bool { return familyOrder(hists[i].name, hists[j].name) })
 
+	typeLine := func(lastFamily *string, name, kind string) error {
+		family, _ := splitLabels(name)
+		if family == *lastFamily {
+			return nil
+		}
+		*lastFamily = family
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+		return err
+	}
+
+	var family string
 	for _, cc := range counters {
+		if err := typeLine(&family, cc.name, "counter"); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", cc.name, cc.c.Value()); err != nil {
 			return err
 		}
 	}
+	family = ""
 	for _, gl := range lines {
+		if err := typeLine(&family, gl.name, "gauge"); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "%s %g\n", gl.name, gl.value); err != nil {
 			return err
 		}
 	}
+	family = ""
 	for _, hh := range hists {
+		if err := typeLine(&family, hh.name, "histogram"); err != nil {
+			return err
+		}
 		base, labels := splitLabels(hh.name)
 		var cum uint64
 		for i, b := range hh.h.bounds {

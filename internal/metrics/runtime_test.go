@@ -84,6 +84,7 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 func TestRegistryWriteText(t *testing.T) {
 	r := NewRegistry()
 	r.Counter(`http_requests_total{endpoint="recommend",code="200"}`).Add(3)
+	r.Counter(`http_requests_total{endpoint="recommend",code="400"}`).Add(1)
 	r.Gauge("snapshot_generation").Set(2)
 	h := r.Histogram(`http_request_seconds{endpoint="recommend"}`, []float64{0.01, 0.1})
 	h.Observe(0.05)
@@ -93,7 +94,11 @@ func TestRegistryWriteText(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		"# TYPE snapshot_generation gauge",
+		"# TYPE http_request_seconds histogram",
 		`http_requests_total{endpoint="recommend",code="200"} 3`,
+		`http_requests_total{endpoint="recommend",code="400"} 1`,
 		"snapshot_generation 2",
 		`http_request_seconds_bucket{endpoint="recommend",le="0.1"} 1`,
 		`http_request_seconds_sum{endpoint="recommend"} 0.05`,
@@ -103,9 +108,38 @@ func TestRegistryWriteText(t *testing.T) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
 		}
 	}
+	// One TYPE line per family, not per labeled series.
+	if got := strings.Count(out, "# TYPE http_requests_total counter"); got != 1 {
+		t.Fatalf("family http_requests_total has %d TYPE lines, want exactly 1:\n%s", got, out)
+	}
 	// The suffix must land before the label braces, never after.
 	if strings.Contains(out, `}_count`) || strings.Contains(out, `}_sum`) {
 		t.Fatalf("suffix after label braces is invalid exposition format:\n%s", out)
+	}
+}
+
+// TestRegistryWriteTextFamiliesConsecutive: under a plain string sort,
+// `name{` sorts after `namez` ('{' > 'z'), which would split a labeled
+// family around another family's series. Strict parsers require every
+// series of a family to sit under its single # TYPE line.
+func TestRegistryWriteTextFamiliesConsecutive(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`reqs{code="200"}`).Inc()
+	r.Counter(`reqs{code="400"}`).Inc()
+	r.Counter("reqsz").Inc() // sorts between reqs{...} series on raw strings
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	first := strings.Index(out, `reqs{code="200"}`)
+	second := strings.Index(out, `reqs{code="400"}`)
+	other := strings.Index(out, "reqsz")
+	if first < 0 || second < 0 || other < 0 {
+		t.Fatalf("missing series:\n%s", out)
+	}
+	if other > first && other < second {
+		t.Fatalf("family reqs split by reqsz:\n%s", out)
 	}
 }
 

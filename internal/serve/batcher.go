@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -30,8 +31,9 @@ type batcher struct {
 }
 
 type batchReq struct {
+	ctx     context.Context
 	key     string
-	compute func() (RecommendResponse, error)
+	compute func(context.Context) (RecommendResponse, error)
 	done    chan batchResult
 }
 
@@ -70,16 +72,32 @@ func (b *batcher) stop() {
 // submit enqueues a request and blocks until its batch is processed. If
 // the batcher is stopped (or was never started), the request computes
 // directly.
-func (b *batcher) submit(key string, compute func() (RecommendResponse, error)) (RecommendResponse, error) {
-	req := &batchReq{key: key, compute: compute, done: make(chan batchResult, 1)}
+//
+// Deadline/cancellation contract: a request whose remaining budget cannot
+// survive even the collection window is rejected up front with
+// context.DeadlineExceeded instead of queueing doomed work; a request
+// cancelled while enqueueing or while waiting for its batch detaches with
+// ctx.Err() (the batch still computes for the requests that stayed —
+// req.done is buffered, so the abandoned result is simply dropped).
+func (b *batcher) submit(ctx context.Context, key string, compute func(context.Context) (RecommendResponse, error)) (RecommendResponse, error) {
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= b.window {
+		return RecommendResponse{}, context.DeadlineExceeded
+	}
+	req := &batchReq{ctx: ctx, key: key, compute: compute, done: make(chan batchResult, 1)}
 	select {
 	case b.reqCh <- req:
-		res := <-req.done
+	case <-b.stopCh:
+		return compute(ctx)
+	case <-ctx.Done():
+		return RecommendResponse{}, ctx.Err()
+	}
+	select {
+	case res := <-req.done:
 		res.resp.BatchSize = res.batchSize
 		res.resp.Coalesced = res.resp.Coalesced || res.coalesced
 		return res.resp, res.err
-	case <-b.stopCh:
-		return compute()
+	case <-ctx.Done():
+		return RecommendResponse{}, ctx.Err()
 	}
 }
 
@@ -131,6 +149,36 @@ func (b *batcher) loop() {
 	}
 }
 
+// groupContext derives the context a key group's single compute runs
+// under: it is cancelled only when *every* request sharing the key has
+// been cancelled — one impatient caller must not kill the answer for the
+// rest — and a member that cannot be cancelled (Background) pins the
+// compute alive. The returned release func must be called once the
+// compute finishes; it stops the watcher goroutine and frees the context.
+func groupContext(reqs []*batchReq) (context.Context, func()) {
+	for _, r := range reqs {
+		if r.ctx.Done() == nil {
+			return context.Background(), func() {}
+		}
+	}
+	if len(reqs) == 1 {
+		return reqs[0].ctx, func() {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := make(chan struct{})
+	go func() {
+		for _, r := range reqs {
+			select {
+			case <-r.ctx.Done():
+			case <-stop:
+				return
+			}
+		}
+		cancel() // every sharer gave up: stop the scoring pass
+	}()
+	return ctx, func() { close(stop); cancel() }
+}
+
 // process scores one batch: unique keys are computed once, results fan out
 // to every request that shares the key.
 func (b *batcher) process(batch []*batchReq) {
@@ -157,7 +205,10 @@ func (b *batcher) process(batch []*batchReq) {
 	}
 	results := make([]keyed, len(order))
 	core.ParallelDo(len(order), func(i int) {
-		resp, err := byKey[order[i]][0].compute()
+		group := byKey[order[i]]
+		gctx, release := groupContext(group)
+		resp, err := group[0].compute(gctx)
+		release()
 		results[i] = keyed{resp: resp, err: err}
 	})
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -23,7 +24,7 @@ func TestBatcherCoalescesSameKey(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := b.submit("same", func() (RecommendResponse, error) {
+			resp, err := b.submit(context.Background(), "same", func(context.Context) (RecommendResponse, error) {
 				computes.Add(1)
 				return RecommendResponse{Tier: "necs"}, nil
 			})
@@ -69,7 +70,7 @@ func TestBatcherDistinctKeysAllComputed(t *testing.T) {
 		wg.Add(1)
 		go func(k string) {
 			defer wg.Done()
-			_, err := b.submit(k, func() (RecommendResponse, error) {
+			_, err := b.submit(context.Background(), k, func(context.Context) (RecommendResponse, error) {
 				mu.Lock()
 				seen[k]++
 				mu.Unlock()
@@ -100,7 +101,7 @@ func TestBatcherRespectsMax(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := b.submit("k", func() (RecommendResponse, error) {
+			resp, err := b.submit(context.Background(), "k", func(context.Context) (RecommendResponse, error) {
 				return RecommendResponse{}, nil
 			})
 			if err != nil {
@@ -126,7 +127,7 @@ func TestBatcherStoppedFallsBackToDirect(t *testing.T) {
 	b := newBatcher(4, time.Millisecond, reg)
 	b.start()
 	b.stop()
-	resp, err := b.submit("k", func() (RecommendResponse, error) {
+	resp, err := b.submit(context.Background(), "k", func(context.Context) (RecommendResponse, error) {
 		return RecommendResponse{Tier: "necs"}, nil
 	})
 	if err != nil || resp.Tier != "necs" {

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 )
@@ -38,37 +40,64 @@ func newTTLCache(ttl time.Duration, now func() time.Time) *ttlCache {
 	}
 }
 
+// isCtxErr reports whether err is a context cancellation or deadline error
+// (possibly wrapped).
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // getOrDo returns the cached response for key if fresh; otherwise the first
 // caller runs fn and everyone else arriving before it finishes shares the
 // result. hit reports a cache hit, shared reports that this caller waited
 // on another caller's computation. Errors are not cached.
-func (c *ttlCache) getOrDo(key string, fn func() (RecommendResponse, error)) (resp RecommendResponse, hit, shared bool, err error) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok && c.now().Before(e.expires) {
+//
+// Cancellation contract: a waiter whose ctx is cancelled detaches
+// immediately with ctx.Err() — the leader keeps computing for the
+// remaining waiters. Conversely, a waiter that receives a context error
+// produced by the *leader's* cancellation (its own ctx still live) does
+// not inherit the leader's fate: it loops and recomputes, becoming the new
+// leader if nobody else already has.
+func (c *ttlCache) getOrDo(ctx context.Context, key string, fn func() (RecommendResponse, error)) (resp RecommendResponse, hit, shared bool, err error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok && c.now().Before(e.expires) {
+			c.mu.Unlock()
+			return e.resp, true, false, nil
+		}
+		call, ok := c.inflight[key]
+		if !ok {
+			call = &flightCall{done: make(chan struct{})}
+			c.inflight[key] = call
+			c.mu.Unlock()
+
+			call.resp, call.err = fn()
+			c.mu.Lock()
+			delete(c.inflight, key)
+			// A compute that was in flight across a hot-swap carries the
+			// previous snapshot's generation; flush already raised minGen, so
+			// the stale result is handed to its waiters but never cached.
+			if call.err == nil && call.resp.Generation >= c.minGen {
+				c.entries[key] = cacheEntry{resp: call.resp, expires: c.now().Add(c.ttl)}
+			}
+			c.mu.Unlock()
+			close(call.done)
+			return call.resp, false, false, call.err
+		}
 		c.mu.Unlock()
-		return e.resp, true, false, nil
-	}
-	if call, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		<-call.done
+
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			// Detach without killing the leader: its result still serves
+			// every waiter that stayed.
+			return RecommendResponse{}, false, false, ctx.Err()
+		}
+		if isCtxErr(call.err) && ctx.Err() == nil {
+			// The leader gave up, we did not: retry the lookup/compute.
+			continue
+		}
 		return call.resp, false, true, call.err
 	}
-	call := &flightCall{done: make(chan struct{})}
-	c.inflight[key] = call
-	c.mu.Unlock()
-
-	call.resp, call.err = fn()
-	c.mu.Lock()
-	delete(c.inflight, key)
-	// A compute that was in flight across a hot-swap carries the previous
-	// snapshot's generation; flush already raised minGen, so the stale
-	// result is handed to its waiters but never cached.
-	if call.err == nil && call.resp.Generation >= c.minGen {
-		c.entries[key] = cacheEntry{resp: call.resp, expires: c.now().Add(c.ttl)}
-	}
-	c.mu.Unlock()
-	close(call.done)
-	return call.resp, false, false, call.err
 }
 
 // flush drops every cached entry and bars entries from generations older

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -19,21 +20,21 @@ func TestCacheTTLExpiry(t *testing.T) {
 		calls++
 		return RecommendResponse{Tier: "necs"}, nil
 	}
-	if _, hit, _, _ := c.getOrDo("k", fn); hit {
+	if _, hit, _, _ := c.getOrDo(context.Background(), "k", fn); hit {
 		t.Fatal("first call must miss")
 	}
-	if _, hit, _, _ := c.getOrDo("k", fn); !hit {
+	if _, hit, _, _ := c.getOrDo(context.Background(), "k", fn); !hit {
 		t.Fatal("second call must hit")
 	}
 	advance(11 * time.Second)
-	if _, hit, _, _ := c.getOrDo("k", fn); hit {
+	if _, hit, _, _ := c.getOrDo(context.Background(), "k", fn); hit {
 		t.Fatal("expired entry must miss")
 	}
 	if calls != 2 {
 		t.Fatalf("fn called %d times, want 2", calls)
 	}
 	c.flush(0)
-	c.getOrDo("k", fn)
+	c.getOrDo(context.Background(), "k", fn)
 	if calls != 3 {
 		t.Fatalf("flush did not evict (calls=%d)", calls)
 	}
@@ -51,7 +52,7 @@ func TestCacheStaleGenerationNotInserted(t *testing.T) {
 		c.flush(1) // hot-swap to generation 1 mid-compute
 		return RecommendResponse{Tier: "necs", Generation: 0}, nil
 	}
-	if _, hit, _, err := c.getOrDo("k", stale); err != nil || hit {
+	if _, hit, _, err := c.getOrDo(context.Background(), "k", stale); err != nil || hit {
 		t.Fatalf("leader compute: hit=%v err=%v", hit, err)
 	}
 	if c.len() != 0 {
@@ -61,10 +62,10 @@ func TestCacheStaleGenerationNotInserted(t *testing.T) {
 		calls++
 		return RecommendResponse{Tier: "necs", Generation: 1}, nil
 	}
-	if _, hit, _, _ := c.getOrDo("k", fresh); hit {
+	if _, hit, _, _ := c.getOrDo(context.Background(), "k", fresh); hit {
 		t.Fatal("stale entry served after flush")
 	}
-	if _, hit, _, _ := c.getOrDo("k", fresh); !hit {
+	if _, hit, _, _ := c.getOrDo(context.Background(), "k", fresh); !hit {
 		t.Fatal("current-generation entry must be cached")
 	}
 	if calls != 2 {
@@ -91,7 +92,7 @@ func TestCacheSingleflight(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			started <- struct{}{}
-			_, hit, shared, err := c.getOrDo("k", fn)
+			_, hit, shared, err := c.getOrDo(context.Background(), "k", fn)
 			if err != nil {
 				t.Error(err)
 			}
@@ -122,8 +123,8 @@ func TestCacheErrorsNotCached(t *testing.T) {
 	c := newTTLCache(time.Minute, time.Now)
 	calls := 0
 	fail := func() (RecommendResponse, error) { calls++; return RecommendResponse{}, ErrQueueFull }
-	c.getOrDo("k", fail)
-	c.getOrDo("k", fail)
+	c.getOrDo(context.Background(), "k", fail)
+	c.getOrDo(context.Background(), "k", fail)
 	if calls != 2 {
 		t.Fatalf("error result was cached (calls=%d)", calls)
 	}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEndToEndShedAndCancel exercises the full admission-control story on a
+// real server: with MaxInFlight=1 and an hour-long batch window, the first
+// request parks inside the batcher holding the only pipeline slot, so
+//
+//   - a second HTTP request is shed with 503 + Retry-After while
+//     lite_requests_shed_total increments, and
+//   - cancelling the parked request's context makes it return
+//     context.Canceled promptly (it would otherwise sit for the full hour),
+//     releasing the slot.
+func TestEndToEndShedAndCancel(t *testing.T) {
+	s := newTestServer(t, Options{
+		MaxInFlight:  1,
+		BatchWindow:  time.Hour,
+		BatchMax:     64,
+		DisableCache: true,
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Park request 1: it acquires the in-flight slot, enters the batcher and
+	// waits out the collection window until cancelled.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	parked := make(chan error, 1)
+	go func() {
+		_, err := s.RecommendCtx(ctx, RecommendRequest{App: "WordCount", SizeMB: 512, Cluster: "C"})
+		parked <- err
+	}()
+	waitFor(t, func() bool { return len(s.inflight) == 1 })
+
+	// Request 2 (different key) must be shed immediately: 503, Retry-After,
+	// and the shed counter moves.
+	body, _ := json.Marshal(RecommendRequest{App: "KMeans", SizeMB: 1024, Cluster: "C"})
+	res, err := http.Post(srv.URL+"/recommend", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Fatal("503 response missing Retry-After header")
+	}
+	var e errorResponse
+	if err := json.NewDecoder(res.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("shed response body: %+v err=%v", e, err)
+	}
+	if c := s.reg.Counter("lite_requests_shed_total").Value(); c != 1 {
+		t.Fatalf("lite_requests_shed_total = %d, want 1", c)
+	}
+	// The in-process API sheds with the typed error.
+	if _, err := s.RecommendCtx(context.Background(),
+		RecommendRequest{App: "KMeans", SizeMB: 1024, Cluster: "C"}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("in-process shed err = %v, want ErrOverloaded", err)
+	}
+
+	// Cancel the parked request: it must return promptly with
+	// context.Canceled — not after the hour-long window — and free the slot.
+	cancel()
+	select {
+	case err := <-parked:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parked request err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled request still stuck in the pipeline")
+	}
+	if c := s.reg.Counter("lite_requests_cancelled_total").Value(); c != 1 {
+		t.Fatalf("lite_requests_cancelled_total = %d, want 1", c)
+	}
+	waitFor(t, func() bool { return len(s.inflight) == 0 })
+}
+
+// TestEndToEndCancelWhileOthersComplete: one request is cancelled while
+// queued for scoring and returns context.Canceled promptly; concurrent
+// requests on other keys in the same batch complete normally. The batch
+// flushes on size (window is an hour), so the sequencing is deterministic:
+// the cancelled request detaches before the batch even forms.
+func TestEndToEndCancelWhileOthersComplete(t *testing.T) {
+	const others = 4
+	s := newTestServer(t, Options{
+		BatchWindow:  time.Hour,
+		BatchMax:     others + 1, // flushes only once the late requests arrive
+		DisableCache: true,
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelled := make(chan error, 1)
+	go func() {
+		_, err := s.RecommendCtx(ctx, RecommendRequest{App: "WordCount", SizeMB: 256, Cluster: "C"})
+		cancelled <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // request is pending in the batcher
+	cancel()
+	select {
+	case err := <-cancelled:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled request did not detach")
+	}
+
+	// The other keys arrive, fill the batch (the abandoned slot still counts
+	// toward BatchMax) and score normally.
+	sizes := []float64{512, 1024, 2048, 4096}
+	var wg sync.WaitGroup
+	resps := make([]RecommendResponse, others)
+	errs := make([]error, others)
+	for i := 0; i < others; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = s.RecommendCtx(context.Background(),
+				RecommendRequest{App: "KMeans", SizeMB: sizes[i], Cluster: "C"})
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("concurrent requests on other keys did not complete")
+	}
+	for i := 0; i < others; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d err = %v", i, errs[i])
+		}
+		if resps[i].Tier == "" || resps[i].BatchSize != others+1 {
+			t.Fatalf("request %d: tier=%q batch=%d, want a scored answer from the %d-slot batch",
+				i, resps[i].Tier, resps[i].BatchSize, others+1)
+		}
+	}
+}
+
+// TestEndToEndRequestTimeout: with a server-imposed RequestTimeout already
+// expired on arrival, the HTTP handler answers 504 and the deadline counter
+// moves — the client's own context never fired.
+func TestEndToEndRequestTimeout(t *testing.T) {
+	s := newTestServer(t, Options{RequestTimeout: time.Nanosecond, DisableBatcher: true, DisableCache: true})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(RecommendRequest{App: "WordCount", SizeMB: 512, Cluster: "C"})
+	res, err := http.Post(srv.URL+"/recommend", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", res.StatusCode)
+	}
+	if c := s.reg.Counter("lite_requests_deadline_exceeded_total").Value(); c != 1 {
+		t.Fatalf("lite_requests_deadline_exceeded_total = %d, want 1", c)
+	}
+	if c := s.reg.Counter(`lite_http_requests_total{endpoint="recommend",code="504"}`).Value(); c != 1 {
+		t.Fatalf("504 status counter = %d, want 1", c)
+	}
+}

@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"sync"
 	"time"
 )
 
@@ -16,7 +19,9 @@ import (
 //	GET  /metrics
 //
 // Every endpoint is instrumented with request counters (by status code)
-// and latency histograms.
+// and latency histograms. /recommend and /feedback run under the caller's
+// request context plus Options.RequestTimeout (when set); see writeError
+// for how deadline, cancellation and overload map to status codes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/recommend", s.instrument("recommend", http.HandlerFunc(s.handleRecommend)))
@@ -25,6 +30,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
+
+// StatusClientClosedRequest is the (nginx-convention) status recorded when
+// the client cancelled its request before the answer was ready; no client
+// sees it, but it keeps abandoned requests distinguishable in the
+// per-status metrics.
+const StatusClientClosedRequest = 499
 
 // statusRecorder captures the response code for metrics.
 type statusRecorder struct {
@@ -37,6 +48,12 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController (and
+// anything else that probes for optional interfaces through rw unwrapping,
+// e.g. Flush and SetWriteDeadline) keeps working on instrumented
+// endpoints.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 func (s *Server) instrument(endpoint string, next http.Handler) http.Handler {
 	hist := s.reg.Histogram(fmt.Sprintf("lite_http_request_seconds{endpoint=%q}", endpoint), nil)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -48,10 +65,24 @@ func (s *Server) instrument(endpoint string, next http.Handler) http.Handler {
 	})
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// encodeErrLogOnce gates the stderr warning for response-encode failures:
+// the counter tracks every occurrence, the log line fires once per process
+// so a flapping client cannot flood the logs.
+var encodeErrLogOnce sync.Once
+
+// writeJSON writes v with the given status. The status is already
+// committed when Encode runs, so an encode error cannot be reported to the
+// client — but it must not vanish either: a truncated 200 body is counted
+// in lite_http_encode_errors_total and logged once.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.reg.Counter("lite_http_encode_errors_total").Inc()
+		encodeErrLogOnce.Do(func() {
+			fmt.Fprintf(os.Stderr, "serve: encoding response body: %v (counting further occurrences in lite_http_encode_errors_total)\n", err)
+		})
+	}
 }
 
 type errorResponse struct {
@@ -59,58 +90,82 @@ type errorResponse struct {
 }
 
 // writeError maps errors to status codes: client errors (unknown
-// app/cluster/knob) are 400, a full feedback queue is 429, everything else
-// is 500.
-func writeError(w http.ResponseWriter, err error) {
+// app/cluster/knob) are 400, a full feedback queue is 429, a shed request
+// is 503 with a Retry-After hint, a blown deadline is 504, a client that
+// went away is 499, everything else is 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var reqErr *RequestError
 	switch {
 	case errors.As(err, &reqErr):
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrQueueFull):
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.Canceled):
+		// The client is gone; nobody reads this body, but the recorded
+		// status keeps cancellations visible in the endpoint metrics.
+		s.writeJSON(w, StatusClientClosedRequest, errorResponse{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 	}
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST with a JSON body"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST with a JSON body"})
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return false
 	}
 	return true
 }
 
+// requestContext derives the pipeline context for one HTTP request: the
+// client's context (cancelled when the connection drops) bounded by the
+// configured per-request timeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	var req RecommendRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	resp, err := s.Recommend(req)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	resp, err := s.RecommendCtx(ctx, req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var req FeedbackRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	resp, err := s.Feedback(req)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	resp, err := s.FeedbackCtx(ctx, req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 type healthResponse struct {
@@ -122,7 +177,7 @@ type healthResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
-	writeJSON(w, http.StatusOK, healthResponse{
+	s.writeJSON(w, http.StatusOK, healthResponse{
 		Status:     "ok",
 		Generation: snap.Gen,
 		Feedbacks:  snap.Feedbacks,

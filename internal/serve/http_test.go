@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lite/internal/metrics"
+)
+
+// bareServer builds an unstarted Server with just enough state for the
+// HTTP plumbing under test — no tuner, no background loops.
+func bareServer() *Server {
+	return &Server{reg: metrics.NewRegistry()}
+}
+
+// flushTracker is the "real" ResponseWriter underneath the instrumented
+// recorder; it records whether Flush reached it.
+type flushTracker struct {
+	http.ResponseWriter
+	flushed bool
+}
+
+func (f *flushTracker) Flush() { f.flushed = true }
+
+// TestStatusRecorderUnwrapFlush: statusRecorder wraps the ResponseWriter for
+// every instrumented endpoint but does not itself implement http.Flusher —
+// http.ResponseController must reach the underlying writer through Unwrap,
+// or streaming handlers silently stop flushing.
+func TestStatusRecorderUnwrapFlush(t *testing.T) {
+	s := bareServer()
+	under := &flushTracker{ResponseWriter: httptest.NewRecorder()}
+	h := s.instrument("flushy", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := http.NewResponseController(w).Flush(); err != nil {
+			t.Errorf("Flush through the instrumented writer: %v", err)
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	h.ServeHTTP(under, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if !under.flushed {
+		t.Fatal("Flush did not reach the underlying ResponseWriter (Unwrap broken)")
+	}
+	// The recorder still captured the status for metrics.
+	if c := s.reg.Counter(`lite_http_requests_total{endpoint="flushy",code="200"}`).Value(); c != 1 {
+		t.Fatalf("status counter = %d, want 1", c)
+	}
+}
+
+// TestWriteJSONEncodeErrorCounted: an encode failure after the status is
+// committed cannot reach the client, so it must land in
+// lite_http_encode_errors_total instead of vanishing.
+func TestWriteJSONEncodeErrorCounted(t *testing.T) {
+	s := bareServer()
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, http.StatusOK, math.NaN()) // json: unsupported value
+	if c := s.reg.Counter("lite_http_encode_errors_total").Value(); c != 1 {
+		t.Fatalf("encode error counter = %d, want 1", c)
+	}
+	s.writeJSON(rec, http.StatusOK, math.Inf(1))
+	if c := s.reg.Counter("lite_http_encode_errors_total").Value(); c != 2 {
+		t.Fatalf("encode error counter = %d, want 2 after second failure", c)
+	}
+	// A well-formed value does not move the counter.
+	s.writeJSON(httptest.NewRecorder(), http.StatusOK, map[string]int{"ok": 1})
+	if c := s.reg.Counter("lite_http_encode_errors_total").Value(); c != 2 {
+		t.Fatalf("encode error counter = %d after a successful encode, want 2", c)
+	}
+}

@@ -23,6 +23,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -53,6 +55,20 @@ type Options struct {
 	BatchWindow time.Duration
 	// DisableBatcher scores every request individually.
 	DisableBatcher bool
+
+	// MaxInFlight bounds how many recommendation requests may be inside
+	// the serving pipeline at once. Excess load is shed immediately with
+	// ErrOverloaded (HTTP 503 + Retry-After) instead of queueing without
+	// bound — under overload, fail fast beats pile up. 0 disables the
+	// limiter.
+	MaxInFlight int
+
+	// RequestTimeout caps how long one HTTP request may spend in the
+	// pipeline: the handler derives a deadline from it, and every stage
+	// (cache wait, batcher queue, candidate scoring) observes the
+	// cancellation. 0 means no server-imposed deadline (the client's
+	// context still applies).
+	RequestTimeout time.Duration
 
 	// UpdateBatch is how many feedback runs trigger one adaptive model
 	// update (default 8). FeedbackQueue bounds the pending-feedback queue
@@ -142,6 +158,11 @@ type Server struct {
 	cache *ttlCache
 	batch *batcher
 	reg   *metrics.Registry
+	// inflight is the admission-control semaphore (nil when
+	// Options.MaxInFlight is 0): a slot is held for a request's whole stay
+	// in the pipeline, and a request that cannot get one immediately is
+	// shed with ErrOverloaded.
+	inflight chan struct{}
 
 	feedbackCh chan feedbackItem
 	stopOnce   sync.Once
@@ -174,7 +195,13 @@ func New(tuner *core.Tuner, opts Options) *Server {
 	s.snap.Store(&Snapshot{Tuner: tuner, Gen: 0, CreatedAt: opts.Now()})
 	s.cache = newTTLCache(opts.CacheTTL, opts.Now)
 	s.batch = newBatcher(opts.BatchMax, opts.BatchWindow, s.reg)
+	if opts.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInFlight)
+	}
 	s.reg.Gauge("lite_snapshot_generation").Set(0)
+	s.reg.GaugeFunc("lite_inflight", func() float64 {
+		return float64(len(s.inflight))
+	})
 	// Scoring-pool depth and utilization, evaluated at scrape time.
 	s.reg.GaugeFunc("lite_score_pool_workers", func() float64 {
 		return float64(core.ScorePoolStats().Workers)
@@ -262,6 +289,12 @@ type RecommendResponse struct {
 	OverheadMS float64 `json:"overhead_ms"`
 }
 
+// ErrOverloaded is returned when the in-flight limiter (Options.
+// MaxInFlight) is at capacity: the request is shed immediately rather than
+// queued behind work that would blow its deadline. HTTP maps it to
+// 503 + Retry-After.
+var ErrOverloaded = errors.New("serve: overloaded: in-flight request limit reached, retry later")
+
 // RequestError is a client error (unknown app/cluster, bad payload).
 type RequestError struct{ msg string }
 
@@ -334,8 +367,52 @@ func (s *Server) resolve(appName, cluster string) (*workload.App, sparksim.Envir
 
 // Recommend serves one recommendation request through the cache, the
 // batcher and the current model snapshot. It is safe for concurrent use.
+// It never times out on its own; callers that want a deadline use
+// RecommendCtx.
 func (s *Server) Recommend(req RecommendRequest) (RecommendResponse, error) {
+	return s.RecommendCtx(context.Background(), req)
+}
+
+// RecommendCtx is Recommend under a caller-supplied context: the deadline
+// and cancellation flow through admission control, the cache's
+// singleflight wait, the batcher's queue and the NECS candidate-scoring
+// pass, so an abandoned request stops consuming the pipeline promptly.
+// Typed failures: ErrOverloaded when the in-flight limit sheds the
+// request, ctx.Err() (context.Canceled / context.DeadlineExceeded) when
+// the caller's budget ran out first.
+func (s *Server) RecommendCtx(ctx context.Context, req RecommendRequest) (RecommendResponse, error) {
 	start := s.opts.Now()
+	resp, err := s.recommend(ctx, req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			s.reg.Counter("lite_requests_shed_total").Inc()
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reg.Counter("lite_requests_deadline_exceeded_total").Inc()
+		case errors.Is(err, context.Canceled):
+			s.reg.Counter("lite_requests_cancelled_total").Inc()
+		}
+		return RecommendResponse{}, err
+	}
+	resp.OverheadMS = float64(s.opts.Now().Sub(start)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+func (s *Server) recommend(ctx context.Context, req RecommendRequest) (RecommendResponse, error) {
+	// Admission control first: when the pipeline is full, shedding must be
+	// cheap — no resolution, no cache probe, no queueing.
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			return RecommendResponse{}, ErrOverloaded
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return RecommendResponse{}, err // dead on arrival
+	}
+
 	app, env, err := s.resolve(req.App, req.Cluster)
 	if err != nil {
 		return RecommendResponse{}, err
@@ -353,10 +430,10 @@ func (s *Server) Recommend(req RecommendRequest) (RecommendResponse, error) {
 
 	compute := func() (RecommendResponse, error) {
 		if s.opts.DisableBatcher {
-			return s.score(app, scoreReq, env)
+			return s.score(ctx, app, scoreReq, env)
 		}
-		return s.batch.submit(key, func() (RecommendResponse, error) {
-			return s.score(app, scoreReq, env)
+		return s.batch.submit(ctx, key, func(bctx context.Context) (RecommendResponse, error) {
+			return s.score(bctx, app, scoreReq, env)
 		})
 	}
 
@@ -365,7 +442,7 @@ func (s *Server) Recommend(req RecommendRequest) (RecommendResponse, error) {
 		resp, err = compute()
 	} else {
 		var hit, shared bool
-		resp, hit, shared, err = s.cache.getOrDo(key, compute)
+		resp, hit, shared, err = s.cache.getOrDo(ctx, key, compute)
 		if err == nil {
 			resp.Cached = hit
 			resp.Coalesced = resp.Coalesced || shared
@@ -382,18 +459,20 @@ func (s *Server) Recommend(req RecommendRequest) (RecommendResponse, error) {
 	// resp may be shared with other callers in the same bucket; it is a
 	// value copy, so restoring this caller's size does not leak across.
 	resp.SizeMB = req.SizeMB
-	resp.OverheadMS = float64(s.opts.Now().Sub(start)) / float64(time.Millisecond)
 	return resp, nil
 }
 
 // score runs the actual model inference against the current snapshot. The
 // snapshot pointer is loaded exactly once, so a hot-swap mid-request can
 // never mix two generations in one answer.
-func (s *Server) score(app *workload.App, req RecommendRequest, env sparksim.Environment) (RecommendResponse, error) {
+func (s *Server) score(ctx context.Context, app *workload.App, req RecommendRequest, env sparksim.Environment) (RecommendResponse, error) {
 	snap := s.snap.Load()
 	data := app.Spec.MakeData(req.SizeMB)
-	sr, err := snap.Tuner.RecommendSafe(app.Spec, data, env)
+	sr, err := snap.Tuner.RecommendSafeCtx(ctx, app.Spec, data, env)
 	if err != nil {
+		if isCtxErr(err) {
+			return RecommendResponse{}, err
+		}
 		return RecommendResponse{}, fmt.Errorf("serve: no feasible configuration: %w", err)
 	}
 	s.reg.Counter("lite_recommendations_total{tier=\"" + string(sr.Tier) + "\"}").Inc()

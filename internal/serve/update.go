@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -41,6 +42,17 @@ var ErrQueueFull = fmt.Errorf("serve: feedback queue full")
 // Feedback validates and enqueues one feedback run for the background
 // adaptive-update loop. It never blocks on training.
 func (s *Server) Feedback(req FeedbackRequest) (FeedbackResponse, error) {
+	return s.FeedbackCtx(context.Background(), req)
+}
+
+// FeedbackCtx is Feedback under a caller-supplied context. Enqueueing is
+// already non-blocking (a full queue fails fast with ErrQueueFull), so the
+// context only gates entry: a request whose deadline already passed is not
+// admitted.
+func (s *Server) FeedbackCtx(ctx context.Context, req FeedbackRequest) (FeedbackResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return FeedbackResponse{}, err
+	}
 	app, env, err := s.resolve(req.App, req.Cluster)
 	if err != nil {
 		return FeedbackResponse{}, err
