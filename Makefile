@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify serve-smoke bench bench-parallel clean
+.PHONY: build test vet race verify serve-smoke chaos-smoke bench bench-parallel clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ verify:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# chaos-smoke SIGKILLs liteserve mid-retrain and asserts recovery: no
+# fsynced feedback lost, snapshot loadable, poisoned updates rejected and
+# quarantined. Writes chaos_report.txt (see DESIGN.md §9).
+chaos-smoke:
+	./scripts/chaos_smoke.sh
+
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x -timeout 45m
 
@@ -40,4 +46,4 @@ bench-parallel:
 
 clean:
 	$(GO) clean ./...
-	rm -f lite-tuner.json
+	rm -f lite-tuner.json chaos_report.txt

@@ -140,6 +140,31 @@ type runResult struct {
 	batchMax  int
 	batchSum  int
 	batchN    int
+
+	// Recovery-aware accounting (remote mode): down counts requests that
+	// failed at the connection level — the server was dead or restarting —
+	// and ttfs is the time from the start of the most recent such outage
+	// window to the first success after it (how long the restart took to
+	// serve again, as the client experienced it).
+	down      int
+	downSince time.Time
+	ttfs      time.Duration
+}
+
+// markDown records one connection-level failure (caller holds the mutex).
+func markDown(res *runResult) {
+	res.down++
+	if res.downSince.IsZero() {
+		res.downSince = time.Now()
+	}
+}
+
+// markUp closes an open outage window on a success (caller holds the mutex).
+func markUp(res *runResult) {
+	if !res.downSince.IsZero() {
+		res.ttfs = time.Since(res.downSince)
+		res.downSince = time.Time{}
+	}
 }
 
 // countErr classifies one failed request (caller holds the mutex):
@@ -230,8 +255,14 @@ func runRemote(url string, reqs []serve.RecommendRequest, workers int, timeout t
 				switch {
 				case ok:
 					record(&res, resp)
+					markUp(&res)
 				case err != nil && isTimeout(err):
 					res.deadline++
+				case err != nil:
+					// Connection refused/reset: the server is down or mid-
+					// restart. Counted apart from hard errors so a chaos run
+					// can bound its restart window.
+					markDown(&res)
 				case status == http.StatusGatewayTimeout:
 					res.deadline++
 				case status == http.StatusServiceUnavailable:
@@ -287,8 +318,8 @@ type pass struct {
 }
 
 func printReport(passes []pass) {
-	fmt.Printf("\n%-30s %-8s %-7s %-9s %-5s %-10s %-10s %-12s %-10s %-11s %s\n",
-		"pass", "reqs", "errors", "deadline", "shed", "p50", "p99", "throughput", "cache-hit", "mean-batch", "max-batch")
+	fmt.Printf("\n%-30s %-8s %-7s %-9s %-5s %-6s %-9s %-10s %-10s %-12s %-10s %-11s %s\n",
+		"pass", "reqs", "errors", "deadline", "shed", "down", "ttfs", "p50", "p99", "throughput", "cache-hit", "mean-batch", "max-batch")
 	for _, p := range passes {
 		r := p.res
 		sort.Slice(r.lats, func(a, b int) bool { return r.lats[a] < r.lats[b] })
@@ -301,8 +332,12 @@ func printReport(passes []pass) {
 		if r.batchN > 0 {
 			meanBatch = float64(r.batchSum) / float64(r.batchN)
 		}
-		fmt.Printf("%-30s %-8d %-7d %-9d %-5d %-10v %-10v %-12s %-10s %-11.2f %d\n",
-			p.name, p.n, r.errors, r.deadline, r.shed,
+		ttfs := "-"
+		if r.ttfs > 0 {
+			ttfs = roundDur(r.ttfs).String()
+		}
+		fmt.Printf("%-30s %-8d %-7d %-9d %-5d %-6d %-9s %-10v %-10v %-12s %-10s %-11.2f %d\n",
+			p.name, p.n, r.errors, r.deadline, r.shed, r.down, ttfs,
 			roundDur(quantile(r.lats, 0.50)),
 			roundDur(quantile(r.lats, 0.99)),
 			fmt.Sprintf("%.0f/s", float64(served)/r.wall.Seconds()),

@@ -8,7 +8,7 @@
 //
 //	liteserve                                # train a quick model, serve on :8372
 //	liteserve -model lite-tuner.json         # serve a tuner saved by 'lite train'
-//	liteserve -addr 127.0.0.1:0 -snapshot s.json
+//	liteserve -addr 127.0.0.1:0 -snapshot s.json -wal-dir wal/   # crash-safe state
 //
 // Endpoints:
 //
@@ -49,7 +49,14 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline for /recommend and /feedback (0 = none); blown deadlines return 504")
 	maxInFlight := flag.Int("max-inflight", 256, "max concurrent requests in the pipeline before load shedding (0 = unbounded); shed requests return 503 + Retry-After")
 	updateBatch := flag.Int("update-batch", 8, "feedback runs per adaptive model update")
-	snapshotPath := flag.String("snapshot", "", "persist each published model snapshot to this file")
+	snapshotPath := flag.String("snapshot", "", "persist each published model snapshot to this file; an existing file is loaded at boot (crash resume)")
+	walDir := flag.String("wal-dir", "", "feedback write-ahead-log directory: accepted feedback survives a crash and replays at the next boot")
+	walSyncEvery := flag.Int("wal-sync-every", 8, "fsync the feedback WAL every N appends (1 = durable before every ack)")
+	walSyncInterval := flag.Duration("wal-sync-interval", 50*time.Millisecond, "background WAL fsync interval (negative disables it)")
+	noValidation := flag.Bool("no-validation", false, "publish retrained models without the held-out validation gate")
+	validationCases := flag.Int("validation-cases", 6, "held-out (app, datasize, cluster) tuples the hot-swap gate scores")
+	chaosCorruptEvery := flag.Int("chaos-corrupt-every", 0, "CHAOS: poison every Nth retrained candidate's weights (drives the gate's rejection path; 0 = off)")
+	chaosPanicEvery := flag.Int("chaos-panic-every", 0, "CHAOS: panic inside every Nth retrain (drives the update-loop supervisor's restart path; 0 = off)")
 	sourceSampleN := flag.Int("source-sample", 256, "source-domain instances mixed into each update (0 with -model)")
 	workers := flag.Int("workers", 0, "candidate-scoring goroutines (0 = GOMAXPROCS, 1 = serial)")
 	fitWorkers := flag.Int("fit-workers", 0, "data-parallel training replicas for boot-train and adaptive updates (0 = serial)")
@@ -59,27 +66,44 @@ func main() {
 	// recommendations already fan out.
 	core.SetScoreWorkers(*workers)
 
-	tuner, source, err := loadOrTrain(*modelPath, *configs, *trainSizes, *seed, *sourceSampleN, *fitWorkers)
+	tuner, source, err := loadOrTrain(*snapshotPath, *modelPath, *configs, *trainSizes, *seed, *sourceSampleN, *fitWorkers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
 	s := serve.New(tuner, serve.Options{
-		CacheTTL:       *cacheTTL,
-		DisableCache:   *noCache,
-		BatchMax:       *batchMax,
-		BatchWindow:    *batchWindow,
-		DisableBatcher: *noBatch,
-		RequestTimeout: *requestTimeout,
-		MaxInFlight:    *maxInFlight,
-		UpdateBatch:    *updateBatch,
-		SourceSample:   source,
-		SnapshotPath:   *snapshotPath,
-		Seed:           *seed,
-		FitWorkers:     *fitWorkers,
+		CacheTTL:        *cacheTTL,
+		DisableCache:    *noCache,
+		BatchMax:        *batchMax,
+		BatchWindow:     *batchWindow,
+		DisableBatcher:  *noBatch,
+		RequestTimeout:  *requestTimeout,
+		MaxInFlight:     *maxInFlight,
+		UpdateBatch:     *updateBatch,
+		SourceSample:    source,
+		SnapshotPath:    *snapshotPath,
+		WALDir:          *walDir,
+		WALSyncEvery:    *walSyncEvery,
+		WALSyncInterval: *walSyncInterval,
+		Validation: serve.ValidationOptions{
+			Enable: !*noValidation,
+			Cases:  *validationCases,
+		},
+		ChaosCorruptEveryN: *chaosCorruptEvery,
+		ChaosPanicEveryN:   *chaosPanicEvery,
+		Seed:               *seed,
+		FitWorkers:         *fitWorkers,
 	})
-	s.Start()
+	if err := s.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "liteserve:", err)
+		os.Exit(1)
+	}
+	if *walDir != "" {
+		fmt.Printf("liteserve: WAL recovery: %d records replayed, %d corrupt tails skipped\n",
+			s.Metrics().Counter("lite_wal_recovered_records_total").Value(),
+			s.Metrics().Counter("lite_wal_corrupt_records_total").Value())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -116,10 +140,25 @@ func main() {
 		s.Snapshot().Gen, s.Snapshot().Feedbacks)
 }
 
-// loadOrTrain either loads a persisted tuner or trains one at boot with
-// reduced collection settings (serving wants a warm model quickly; a
-// production deployment passes -model).
-func loadOrTrain(modelPath string, configs, trainSizes int, seed int64, sourceN, fitWorkers int) (*core.Tuner, []*core.Encoded, error) {
+// loadOrTrain picks the boot model in crash-resume order: an existing
+// -snapshot file (the adapted state a previous process persisted before it
+// died) wins over -model (the offline baseline), which wins over training a
+// fresh model at boot with reduced collection settings.
+func loadOrTrain(snapshotPath, modelPath string, configs, trainSizes int, seed int64, sourceN, fitWorkers int) (*core.Tuner, []*core.Encoded, error) {
+	if snapshotPath != "" {
+		if f, err := os.Open(snapshotPath); err == nil {
+			defer f.Close()
+			tuner, err := core.LoadTuner(f, seed)
+			if err != nil {
+				// A snapshot that exists but does not load is a hard error:
+				// silently discarding adapted state and serving a colder
+				// model would mask the corruption.
+				return nil, nil, fmt.Errorf("liteserve: resuming from snapshot %s: %w", snapshotPath, err)
+			}
+			fmt.Printf("liteserve: resumed adapted model from snapshot %s\n", snapshotPath)
+			return tuner, nil, nil
+		}
+	}
 	if modelPath != "" {
 		f, err := os.Open(modelPath)
 		if err != nil {

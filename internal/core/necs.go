@@ -276,16 +276,29 @@ const maxPredictSeconds = 1e12
 // maps to the upper clamp: an un-rankable candidate is treated as the worst
 // possible one instead of poisoning every comparison it appears in.
 func (m *NECS) PredictSeconds(x *Encoded) float64 {
-	s := SecondsOf(m.Predict(x))
+	s, _ := m.PredictSecondsChecked(x)
+	return s
+}
+
+// PredictSecondsChecked is PredictSeconds plus a finiteness report: ok is
+// false when the raw (pre-clamp) prediction was NaN or ±Inf. The clamp
+// keeps ranking arithmetic safe, but it also makes a corrupted model look
+// healthy — every candidate pinned to the same ceiling; guards that must
+// distinguish "worst-ranked" from "cannot rank at all" (the serve layer's
+// hot-swap validation gate) check ok instead of the clamped value.
+func (m *NECS) PredictSecondsChecked(x *Encoded) (float64, bool) {
+	raw := m.Predict(x)
+	s := SecondsOf(raw)
+	ok := !math.IsNaN(raw) && !math.IsInf(raw, 0) && !math.IsNaN(s) && !math.IsInf(s, 0)
 	switch {
 	case math.IsNaN(s):
-		return maxPredictSeconds
+		return maxPredictSeconds, ok
 	case s < 0:
-		return 0
+		return 0, ok
 	case s > maxPredictSeconds:
-		return maxPredictSeconds
+		return maxPredictSeconds, ok
 	}
-	return s
+	return s, ok
 }
 
 // trainWeight is the instance's effective weight under censoring: FailCap-

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// faultWriter fails (optionally after a short write) once n bytes have been
+// accepted — the io.Writer analogue of a disk filling up mid-save.
+type faultWriter struct {
+	limit   int
+	written int
+}
+
+var errWriterFault = errors.New("injected writer fault")
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	if w.written >= w.limit {
+		return 0, errWriterFault
+	}
+	if w.written+len(p) > w.limit {
+		n := w.limit - w.written
+		w.written = w.limit
+		return n, errWriterFault
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func persistFaultTuner(t *testing.T) *Tuner {
+	t.Helper()
+	apps := []*workload.App{workload.ByName("WordCount")}
+	opts := DefaultTrainOptions()
+	opts.Collect.ConfigsPerInstance = 2
+	opts.Collect.Sizes = []int{0}
+	opts.Collect.Clusters = []sparksim.Environment{sparksim.ClusterC}
+	opts.NECS.Epochs = 1
+	tuner, _ := Train(apps, opts)
+	return tuner
+}
+
+// TestTunerSaveSurfacesWriterErrors: Save must report the underlying write
+// failure, not silently truncate — a caller that treats a nil error as "the
+// snapshot is on disk" (the serve layer's crash-safe persister) depends on
+// it.
+func TestTunerSaveSurfacesWriterErrors(t *testing.T) {
+	tuner := persistFaultTuner(t)
+
+	var full bytes.Buffer
+	if err := tuner.Save(&full); err != nil {
+		t.Fatalf("baseline save: %v", err)
+	}
+	if full.Len() == 0 {
+		t.Fatal("baseline save wrote nothing")
+	}
+
+	// Fail at several points through the stream, including a short write
+	// mid-payload and a failure on the very first byte.
+	for _, limit := range []int{0, 1, full.Len() / 2, full.Len() - 1} {
+		if err := tuner.Save(&faultWriter{limit: limit}); !errors.Is(err, errWriterFault) {
+			t.Errorf("save with writer failing at %d bytes: err = %v, want injected fault", limit, err)
+		}
+	}
+}
+
+// TestLoadTunerRejectsTruncatedSnapshot: every truncation of a valid
+// snapshot must fail to load — never yield a quietly half-initialized tuner.
+func TestLoadTunerRejectsTruncatedSnapshot(t *testing.T) {
+	tuner := persistFaultTuner(t)
+	var full bytes.Buffer
+	if err := tuner.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+	data := full.Bytes()
+	for _, frac := range []float64{0, 0.25, 0.5, 0.99} {
+		cut := int(float64(len(data)) * frac)
+		if _, err := LoadTuner(bytes.NewReader(data[:cut]), 1); err == nil {
+			t.Errorf("loading snapshot truncated to %d/%d bytes succeeded", cut, len(data))
+		}
+	}
+	if _, err := LoadTuner(bytes.NewReader(data), 1); err != nil {
+		t.Fatalf("loading the untruncated snapshot failed: %v", err)
+	}
+}

@@ -67,17 +67,28 @@ func (m *NECS) NewAppScorer(app *sparksim.AppSpec, data sparksim.DataSpec, env s
 // (Equation 5's aggregation), identically to NECS.PredictApp. Safe for
 // concurrent use.
 func (s *AppScorer) Score(cfg sparksim.Config) float64 {
+	total, _ := s.ScoreChecked(cfg)
+	return total
+}
+
+// ScoreChecked is Score plus a finiteness report: ok is false when any
+// stage's raw (pre-clamp) prediction was non-finite. The returned score is
+// still the clamped, always-finite aggregate — callers that must tell a
+// genuinely slow candidate from a model that cannot rank at all (the serve
+// layer's hot-swap validation gate) branch on ok.
+func (s *AppScorer) ScoreChecked(cfg sparksim.Config) (float64, bool) {
 	// The candidate-dependent dense sections are shared by every stage of
 	// this candidate: compute them once, not once per stage.
 	knobs := cfg.Normalized()
 	derived := feature.DerivedResourceFeatures(cfg, s.data, s.env)
 	perStage := make(map[int]float64, len(s.stages))
+	ok := true
 	for _, st := range s.stages {
 		dense := make([]float64, 0, feature.DenseWidth)
 		dense = append(dense, knobs...)
 		dense = append(dense, s.shared...)
 		dense = append(dense, derived...)
-		perStage[st.index] = s.model.PredictSeconds(&Encoded{
+		sec, fin := s.model.PredictSecondsChecked(&Encoded{
 			StageIndex: st.index,
 			TokenIDs:   st.toks,
 			NodeFeats:  st.dag.nodes,
@@ -85,6 +96,8 @@ func (s *AppScorer) Score(cfg sparksim.Config) float64 {
 			Dense:      dense,
 			Weight:     1,
 		})
+		perStage[st.index] = sec
+		ok = ok && fin
 	}
 	// Sum in plan order, exactly as PredictApp always has, so the
 	// aggregate is bit-identical to the serial path.
@@ -92,5 +105,5 @@ func (s *AppScorer) Score(cfg sparksim.Config) float64 {
 	for _, si := range s.plan {
 		total += perStage[si]
 	}
-	return total
+	return total, ok
 }

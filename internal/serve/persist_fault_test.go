@@ -1,0 +1,169 @@
+package serve
+
+// Persistence fault tests: snapshot saves through an injected failing /
+// short-writing filesystem (wal.FaultFS behind the snapshotFS seam). The
+// invariants under test: a failed persist never leaves a torn or missing
+// snapshot where a good one stood, publish proceeds in memory, and the WAL
+// holds the batch unfolded until a persist finally lands.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lite/internal/core"
+	"lite/internal/wal"
+)
+
+// swapSnapshotFS installs a FaultFS behind the snapshot/quarantine seam for
+// the duration of one test. Tests in this package run sequentially, so the
+// package-level swap is safe.
+func swapSnapshotFS(t *testing.T) *wal.FaultFS {
+	t.Helper()
+	ffs := wal.NewFaultFS(nil)
+	old := snapshotFS
+	snapshotFS = ffs
+	t.Cleanup(func() { snapshotFS = old })
+	return ffs
+}
+
+func TestSaveTunerAtomicFsyncFailureLeavesNoTarget(t *testing.T) {
+	tuner, _ := testTuner(t)
+	ffs := swapSnapshotFS(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+
+	ffs.FailSync(true)
+	err := saveTunerAtomic(tuner, path)
+	if err == nil || !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("save with failing fsync: err = %v, want injected fault", err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatal("target file exists after failed persist; crash would load a non-durable snapshot")
+	}
+	if _, serr := os.Stat(path + ".tmp"); !os.IsNotExist(serr) {
+		t.Fatal("temp file leaked after failed persist")
+	}
+
+	ffs.Heal()
+	if err := saveTunerAtomic(tuner, path); err != nil {
+		t.Fatalf("save after heal: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := core.LoadTuner(f, 1); err != nil {
+		t.Fatalf("persisted snapshot not loadable: %v", err)
+	}
+}
+
+func TestSaveTunerAtomicShortWriteLeavesOldSnapshot(t *testing.T) {
+	tuner, _ := testTuner(t)
+	ffs := swapSnapshotFS(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+
+	// Establish a good snapshot, then tear the next save's first write.
+	if err := saveTunerAtomic(tuner, path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.ShortWriteAt(1)
+	if err := saveTunerAtomic(tuner, path); err == nil {
+		t.Fatal("save with torn write reported success")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("old snapshot gone after failed save: %v", err)
+	}
+	if !bytes.Equal(good, after) {
+		t.Fatal("failed save modified the existing snapshot")
+	}
+	if _, serr := os.Stat(path + ".tmp"); !os.IsNotExist(serr) {
+		t.Fatal("temp file leaked after torn write")
+	}
+}
+
+// TestPersistFaultsRetryPublishAndHoldWALFold: while the snapshot disk is
+// broken, retrains still publish in memory (availability) but their feedback
+// stays unfolded in the WAL (durability); once the disk heals, the next
+// persist lands and the log folds.
+func TestPersistFaultsRetryPublishAndHoldWALFold(t *testing.T) {
+	tuner, source := testTuner(t)
+	ffs := swapSnapshotFS(t)
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "model.json")
+
+	ffs.FailSync(true)
+	s := New(tuner.CloneForUpdate(1), Options{
+		SourceSample: source,
+		WALDir:       filepath.Join(dir, "wal"),
+		SnapshotPath: snapPath,
+		WALSyncEvery: 1, WALSyncInterval: -1,
+		UpdateBatch:         2,
+		PersistRetries:      1,
+		PersistRetryBackoff: time.Millisecond,
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The gen-0 persist at Start already failed: initial attempt + 1 retry.
+	if got := s.Metrics().Counter("lite_snapshot_persist_errors_total").Value(); got != 2 {
+		t.Fatalf("persist errors after Start = %d, want 2", got)
+	}
+	if got := s.Metrics().Counter("lite_snapshot_persist_retries_total").Value(); got != 1 {
+		t.Fatalf("persist retries after Start = %d, want 1", got)
+	}
+	var buf bytes.Buffer
+	if err := s.Metrics().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lite_snapshot_age_seconds -1") {
+		t.Fatal("snapshot age gauge should report -1 while nothing ever persisted")
+	}
+
+	feedbackN(t, s, 2)
+	waitUntil(t, 60*time.Second, "publish despite persist failure", func() bool {
+		return s.Snapshot().Gen >= 1
+	})
+	// Readers got the new generation, but its feedback must not fold: the
+	// only durable copy is the WAL.
+	if folded := s.wal.Stats().Folded; folded != 0 {
+		t.Fatalf("WAL folded through seq %d while snapshot persist failing, want 0", folded)
+	}
+
+	ffs.Heal()
+	feedbackN(t, s, 2)
+	waitUntil(t, 60*time.Second, "persist and fold after heal", func() bool {
+		return s.wal.Stats().Folded >= 4
+	})
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("snapshot missing after heal: %v", err)
+	}
+	buf.Reset()
+	if err := s.Metrics().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "lite_snapshot_age_seconds -1") {
+		t.Fatal("snapshot age gauge still -1 after successful persist")
+	}
+	shutdownServer(t, s)
+
+	// Everything durable and folded: a restart replays nothing.
+	w, recs, _, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(recs) != 0 {
+		t.Fatalf("%d records would replay after heal+fold, want 0", len(recs))
+	}
+}

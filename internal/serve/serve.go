@@ -32,9 +32,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"encoding/json"
+
 	"lite/internal/core"
 	"lite/internal/metrics"
 	"lite/internal/sparksim"
+	"lite/internal/wal"
 	"lite/internal/workload"
 )
 
@@ -98,9 +101,57 @@ type Options struct {
 	FitWorkers int
 
 	// SnapshotPath, when set, persists every published snapshot's tuner
-	// there (write-to-temp + rename), so a restarted server can reload the
-	// adapted model with core.LoadTuner.
+	// there (write-to-temp + fsync + rename + dir fsync), so a restarted
+	// server can reload the adapted model with core.LoadTuner. Persist
+	// failures are retried with exponential backoff (PersistRetries /
+	// PersistRetryBackoff), and the seconds since the last successful
+	// persist are exported as the lite_snapshot_age_seconds gauge.
 	SnapshotPath string
+
+	// PersistRetries is how many times one snapshot persist is retried
+	// after the first failure (default 3); PersistRetryBackoff is the
+	// first retry's delay, doubling per attempt (default 50ms).
+	PersistRetries      int
+	PersistRetryBackoff time.Duration
+
+	// WALDir, when set, enables the feedback write-ahead log: accepted
+	// /feedback is appended (length+CRC32-framed) before it is enqueued,
+	// fsynced every WALSyncEvery appends and every WALSyncInterval, and
+	// replayed into the update loop on the next Start after a crash.
+	// Records fold out of the log once the snapshot absorbing them is
+	// durable, so WALDir is designed to be paired with SnapshotPath.
+	WALDir          string
+	WALSyncEvery    int           // default 8 appends per fsync; 1 = sync every ack
+	WALSyncInterval time.Duration // default 50ms; <0 disables the interval syncer
+	WALSegmentBytes int64         // segment rotation bound, default 4 MiB
+	// WALFS overrides the WAL's filesystem (fault-injection tests).
+	WALFS wal.FS
+
+	// Validation configures the hot-swap gate (see ValidationOptions): a
+	// retrained candidate that regresses held-out ranking quality is
+	// rejected, its feedback batch quarantined, and retrains back off. The
+	// zero value disables the gate; cmd/liteserve enables it by default.
+	Validation ValidationOptions
+
+	// RetrainBackoffMin/Max bound the exponential backoff applied after a
+	// rejected hot-swap and after an update-loop panic restart (defaults
+	// 1s and 5m).
+	RetrainBackoffMin time.Duration
+	RetrainBackoffMax time.Duration
+
+	// QuarantinePath overrides where rejected feedback batches are
+	// appended (JSON lines). Default: <WALDir>/quarantine.jsonl, else
+	// <SnapshotPath>.quarantine.jsonl, else quarantine is disabled.
+	QuarantinePath string
+
+	// ChaosCorruptEveryN and ChaosPanicEveryN are chaos-engineering
+	// failpoints (0 = off, the production setting): every Nth retrain
+	// attempt respectively poisons the candidate's weights with NaNs
+	// (exercising the validation gate's rejection path) or panics inside
+	// the update loop (exercising the supervisor's restart path). The
+	// chaos harness (scripts/chaos_smoke.sh, recovery tests) drives both.
+	ChaosCorruptEveryN int
+	ChaosPanicEveryN   int
 
 	// Seed drives the retrain RNG chain; each update uses Seed+generation.
 	Seed int64
@@ -130,6 +181,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Now == nil {
 		o.Now = time.Now
+	}
+	if o.PersistRetries <= 0 {
+		o.PersistRetries = 3
+	}
+	if o.PersistRetryBackoff <= 0 {
+		o.PersistRetryBackoff = 50 * time.Millisecond
+	}
+	if o.RetrainBackoffMin <= 0 {
+		o.RetrainBackoffMin = time.Second
+	}
+	if o.RetrainBackoffMax <= 0 {
+		o.RetrainBackoffMax = 5 * time.Minute
 	}
 	return o
 }
@@ -169,6 +232,24 @@ type Server struct {
 	stopCh     chan struct{}
 	wg         sync.WaitGroup
 	started    atomic.Bool
+
+	// Durability and self-healing state (DESIGN.md §9). wal and recovered
+	// are set by Start; validator is nil when the gate is disabled. The
+	// liveVal/backoff/retrain fields below are owned by the update-loop
+	// goroutine chain (superviseUpdateLoop runs its restarts sequentially),
+	// so they need no lock.
+	wal       *wal.WAL
+	recovered []feedbackItem
+	validator *validator
+
+	liveVal          valScore
+	liveValGen       uint64
+	liveValSet       bool
+	retrainAttempts  uint64
+	retrainFailures  int
+	backoffUntil     time.Time
+	lastPersistNanos atomic.Int64
+	walErrOnce       sync.Once
 }
 
 type feedbackItem struct {
@@ -176,6 +257,9 @@ type feedbackItem struct {
 	req FeedbackRequest
 	cfg sparksim.Config
 	env sparksim.Environment
+	// seq is the WAL sequence number (0 when the WAL is off or the append
+	// failed); the update loop folds the log up to the batch's max seq.
+	seq uint64
 }
 
 // New builds a server around an offline-trained tuner (generation 0).
@@ -226,18 +310,97 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
 // Start launches the background adaptive-update loop and the batcher.
-func (s *Server) Start() {
+// When Options.WALDir is set it first recovers the feedback WAL — torn and
+// corrupt tails are skipped and counted, unfolded records are queued for
+// replay ahead of new traffic — and when Options.Validation.Enable is set
+// it freezes the held-out validation set the hot-swap gate scores against.
+// A non-nil error means the durability layer could not be brought up; the
+// server has not started.
+func (s *Server) Start() error {
 	if s.started.Swap(true) {
-		return
+		return nil
+	}
+	if s.opts.WALDir != "" {
+		w, recs, stats, err := wal.Open(wal.Options{
+			Dir:             s.opts.WALDir,
+			SegmentMaxBytes: s.opts.WALSegmentBytes,
+			SyncEvery:       s.opts.WALSyncEvery,
+			SyncInterval:    s.opts.WALSyncInterval,
+			FS:              s.opts.WALFS,
+		})
+		if err != nil {
+			s.started.Store(false)
+			return fmt.Errorf("serve: opening feedback WAL: %w", err)
+		}
+		s.wal = w
+		s.reg.Counter("lite_wal_corrupt_records_total").Add(uint64(stats.CorruptTails))
+		s.reg.Counter("lite_wal_recovered_records_total").Add(uint64(stats.Recovered))
+		skipped := 0
+		for _, rec := range recs {
+			item, ok := s.replayItem(rec)
+			if !ok {
+				skipped++
+				continue
+			}
+			s.recovered = append(s.recovered, item)
+		}
+		if skipped > 0 {
+			// A record that no longer resolves (app/cluster renamed across
+			// an upgrade, garbage payload behind a valid CRC) is dropped
+			// visibly, not fatally.
+			s.reg.Counter("lite_wal_replay_skipped_total").Add(uint64(skipped))
+		}
+		s.reg.GaugeFunc("lite_wal_last_seq", func() float64 { return float64(s.wal.Stats().LastSeq) })
+		s.reg.GaugeFunc("lite_wal_synced_seq", func() float64 { return float64(s.wal.Stats().SyncedSeq) })
+		s.reg.GaugeFunc("lite_wal_folded_seq", func() float64 { return float64(s.wal.Stats().Folded) })
+		s.reg.GaugeFunc("lite_wal_segments", func() float64 { return float64(s.wal.Stats().Segments) })
+		s.reg.GaugeFunc("lite_wal_fsyncs", func() float64 { return float64(s.wal.Stats().Fsyncs) })
+	}
+	if s.opts.Validation.Enable {
+		s.validator = newValidator(s.snap.Load().Tuner, s.opts.Validation.withDefaults(s.opts.Seed))
+	}
+	if s.opts.SnapshotPath != "" {
+		s.reg.GaugeFunc("lite_snapshot_age_seconds", func() float64 {
+			last := s.lastPersistNanos.Load()
+			if last == 0 {
+				return -1 // never persisted — alertable on its own
+			}
+			return time.Duration(s.opts.Now().UnixNano() - last).Seconds()
+		})
+		// Persist generation 0 up front: from the first served request on,
+		// a crash always has a loadable snapshot to restart from.
+		s.persistSnapshot(s.snap.Load().Tuner)
 	}
 	s.batch.start()
 	s.wg.Add(1)
-	go s.updateLoop()
+	go s.superviseUpdateLoop()
+	return nil
+}
+
+// replayItem turns one recovered WAL record back into a queued feedback
+// item, re-running the same validation as the /feedback handler.
+func (s *Server) replayItem(rec wal.Record) (feedbackItem, bool) {
+	var req FeedbackRequest
+	if err := json.Unmarshal(rec.Data, &req); err != nil {
+		return feedbackItem{}, false
+	}
+	app, env, err := s.resolve(req.App, req.Cluster)
+	if err != nil {
+		return feedbackItem{}, false
+	}
+	if req.SizeMB <= 0 {
+		req.SizeMB = app.Sizes.Test
+	}
+	cfg, err := ConfigFromMap(req.Config)
+	if err != nil {
+		return feedbackItem{}, false
+	}
+	return feedbackItem{app: app, req: req, cfg: core.ForceFeasible(cfg, env), env: env, seq: rec.Seq}, true
 }
 
 // Shutdown stops the batcher and the update loop, waiting for an in-flight
-// retrain to finish (bounded by the deadline, if any, on done). It is safe
-// to call more than once.
+// retrain to finish (bounded by the deadline, if any, on done), then closes
+// the WAL (final fsync included). It is safe to call more than once.
 func (s *Server) Shutdown(done <-chan struct{}) error {
 	s.stopOnce.Do(func() { close(s.stopCh) })
 	s.batch.stop()
@@ -245,8 +408,14 @@ func (s *Server) Shutdown(done <-chan struct{}) error {
 	go func() { s.wg.Wait(); close(finished) }()
 	select {
 	case <-finished:
+		if s.wal != nil {
+			return s.wal.Close()
+		}
 		return nil
 	case <-done:
+		// The update loop may still be using the WAL; leave it open rather
+		// than race a close under it (the OS reclaims it on exit, and the
+		// unfsynced tail is exactly the loss bound recovery advertises).
 		return fmt.Errorf("serve: shutdown deadline exceeded with update loop still running")
 	}
 }

@@ -49,7 +49,9 @@ func newTestServer(t *testing.T, opts Options) *Server {
 		opts.SourceSample = source
 	}
 	s := New(tuner.CloneForUpdate(1), opts)
-	s.Start()
+	if err := s.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
 	t.Cleanup(func() {
 		done := make(chan struct{})
 		go func() { time.Sleep(120 * time.Second); close(done) }()
