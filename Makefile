@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify serve-smoke chaos-smoke bench bench-parallel clean
+.PHONY: build test vet race verify serve-smoke chaos-smoke fleet-smoke bench bench-parallel clean
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -shuffle=on ./...
-	$(GO) test -race -shuffle=on ./internal/serve/... ./internal/core/...
+	$(GO) test -race -shuffle=on ./internal/serve/... ./internal/core/... ./internal/fleet/...
 
 # serve-smoke boots liteserve on a random port, issues one /recommend and
 # one /feedback request, and asserts both return 200.
@@ -36,6 +36,13 @@ serve-smoke:
 chaos-smoke:
 	./scripts/chaos_smoke.sh
 
+# fleet-smoke boots a 3-shard litefleet, SIGKILLs one shard under load and
+# asserts re-route (zero client errors), supervisor restart + ring
+# re-admission, and fleet-wide generation convergence after the hot-swap.
+# Writes fleet_report.txt (see DESIGN.md §10).
+fleet-smoke:
+	./scripts/fleet_smoke.sh
+
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x -timeout 45m
 
@@ -46,4 +53,4 @@ bench-parallel:
 
 clean:
 	$(GO) clean ./...
-	rm -f lite-tuner.json chaos_report.txt
+	rm -f lite-tuner.json chaos_report.txt fleet_report.txt

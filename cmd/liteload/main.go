@@ -10,6 +10,9 @@
 //	liteload                          # in-process A/B benchmark
 //	liteload -n 2000 -c 32 -keys 6
 //	liteload -url http://127.0.0.1:8372   # drive a running liteserve
+//	liteload -url http://127.0.0.1:8380   # drive a litefleet router: the
+//	                                      # report adds per-shard request
+//	                                      # share, p50/p99 and cache-hit skew
 package main
 
 import (
@@ -149,6 +152,41 @@ type runResult struct {
 	down      int
 	downSince time.Time
 	ttfs      time.Duration
+
+	// Per-shard accounting (fleet mode): keyed by the X-Lite-Shard header a
+	// litefleet router stamps on every relayed response. Empty against a
+	// single liteserve.
+	shards map[string]*shardStat
+}
+
+// shardStat is one shard's slice of a remote run: its request share, its
+// latency distribution, and its cache hit rate — together they show routing
+// skew and whether consistent hashing is keeping each shard's cache hot.
+type shardStat struct {
+	n      int
+	cached int
+	lats   []time.Duration
+}
+
+// recordShard folds one fleet-routed response into the per-shard stats
+// (caller holds the mutex).
+func recordShard(res *runResult, id string, lat time.Duration, cached bool) {
+	if id == "" {
+		return
+	}
+	if res.shards == nil {
+		res.shards = map[string]*shardStat{}
+	}
+	st := res.shards[id]
+	if st == nil {
+		st = &shardStat{}
+		res.shards[id] = st
+	}
+	st.n++
+	st.lats = append(st.lats, lat)
+	if cached {
+		st.cached++
+	}
 }
 
 // markDown records one connection-level failure (caller holds the mutex).
@@ -255,6 +293,7 @@ func runRemote(url string, reqs []serve.RecommendRequest, workers int, timeout t
 				switch {
 				case ok:
 					record(&res, resp)
+					recordShard(&res, httpRes.Header.Get("X-Lite-Shard"), lat, resp.Cached)
 					markUp(&res)
 				case err != nil && isTimeout(err):
 					res.deadline++
@@ -343,6 +382,38 @@ func printReport(passes []pass) {
 			fmt.Sprintf("%.0f/s", float64(served)/r.wall.Seconds()),
 			fmt.Sprintf("%.0f%%", hitRate*100),
 			meanBatch, r.batchMax)
+	}
+	for _, p := range passes {
+		printShardReport(p.res)
+	}
+}
+
+// printShardReport breaks a fleet run down by answering shard: request
+// share (how evenly the ring spread this traffic), per-shard p50/p99, and
+// per-shard cache-hit rate (skew here means some shards' arcs carry the hot
+// keys). Prints nothing for single-server runs.
+func printShardReport(r runResult) {
+	if len(r.shards) == 0 {
+		return
+	}
+	ids := make([]string, 0, len(r.shards))
+	total := 0
+	for id, st := range r.shards {
+		ids = append(ids, id)
+		total += st.n
+	}
+	sort.Strings(ids)
+	fmt.Printf("\nper-shard (%d shards answered):\n", len(ids))
+	fmt.Printf("%-10s %-8s %-7s %-10s %-10s %s\n", "shard", "reqs", "share", "p50", "p99", "cache-hit")
+	for _, id := range ids {
+		st := r.shards[id]
+		sort.Slice(st.lats, func(a, b int) bool { return st.lats[a] < st.lats[b] })
+		fmt.Printf("%-10s %-8d %-7s %-10v %-10v %.0f%%\n",
+			id, st.n,
+			fmt.Sprintf("%.0f%%", 100*float64(st.n)/float64(total)),
+			roundDur(quantile(st.lats, 0.50)),
+			roundDur(quantile(st.lats, 0.99)),
+			100*float64(st.cached)/float64(st.n))
 	}
 }
 

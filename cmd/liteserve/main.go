@@ -14,8 +14,14 @@
 //
 //	POST /recommend  {"app":"PageRank","size_mb":4096,"cluster":"C"}
 //	POST /feedback   {"app":"PageRank","size_mb":4096,"cluster":"C","config":{...}}
-//	GET  /healthz
+//	GET  /healthz    (JSON: generation, snapshot age, inflight, wal depth)
 //	GET  /metrics
+//	POST /admin/flip (only with -admin / -follower: fleet hot-swap)
+//
+// As a fleet shard (cmd/litefleet spawns these): -follower disables local
+// retraining so the model only moves via coordinated flips, and the
+// `listening addr=` stdout line reports the kernel-assigned port when
+// -addr ends in :0.
 package main
 
 import (
@@ -60,6 +66,8 @@ func main() {
 	sourceSampleN := flag.Int("source-sample", 256, "source-domain instances mixed into each update (0 with -model)")
 	workers := flag.Int("workers", 0, "candidate-scoring goroutines (0 = GOMAXPROCS, 1 = serial)")
 	fitWorkers := flag.Int("fit-workers", 0, "data-parallel training replicas for boot-train and adaptive updates (0 = serial)")
+	follower := flag.Bool("follower", false, "fleet follower mode: no local retraining, the model advances only via POST /admin/flip (implies -admin)")
+	admin := flag.Bool("admin", false, "expose POST /admin/flip (fleet-coordinated hot-swap)")
 	flag.Parse()
 
 	// Resize the scoring pool before boot-training so the first model's
@@ -94,6 +102,8 @@ func main() {
 		ChaosPanicEveryN:   *chaosPanicEvery,
 		Seed:               *seed,
 		FitWorkers:         *fitWorkers,
+		Follower:           *follower,
+		EnableAdmin:        *admin,
 	})
 	if err := s.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "liteserve:", err)
@@ -110,8 +120,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	// Printed to stdout so scripts (make serve-smoke) can discover a
-	// randomly assigned port.
+	// The addr= line is the machine-parseable contract a fleet supervisor
+	// (cmd/litefleet) keys on to learn a shard's kernel-assigned ephemeral
+	// port without races; the human-readable line follows for scripts
+	// (make serve-smoke) and operators.
+	fmt.Printf("liteserve: listening addr=%s\n", ln.Addr())
 	fmt.Printf("liteserve: listening on http://%s (generation %d)\n", ln.Addr(), s.Snapshot().Gen)
 
 	httpSrv := &http.Server{Handler: s.Handler()}

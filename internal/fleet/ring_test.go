@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("App%d|b%d|env%d", i%37, i%11, i%3)
+	}
+	return keys
+}
+
+func owners(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		id, ok := r.Lookup(k)
+		if !ok {
+			continue
+		}
+		out[k] = id
+	}
+	return out
+}
+
+// TestRingSameKeySameShard: lookups are deterministic and independent of
+// member insertion order — the property that lets any router replica (or a
+// restarted one) place keys identically.
+func TestRingSameKeySameShard(t *testing.T) {
+	a := NewRing(64)
+	b := NewRing(64)
+	ids := []string{"shard0", "shard1", "shard2", "shard3"}
+	for _, id := range ids {
+		a.Add(id)
+	}
+	for i := range ids {
+		b.Add(ids[len(ids)-1-i]) // reverse insertion order
+	}
+	for _, k := range sampleKeys(1000) {
+		ai, _ := a.Lookup(k)
+		bi, _ := b.Lookup(k)
+		if ai != bi {
+			t.Fatalf("key %q maps to %s and %s depending on insertion order", k, ai, bi)
+		}
+		ai2, _ := a.Lookup(k)
+		if ai != ai2 {
+			t.Fatalf("key %q flapped %s -> %s on repeat lookup", k, ai, ai2)
+		}
+	}
+}
+
+// TestRingBoundedMovementOnRemove: removing one of N members must move
+// only that member's keys (~1/N of them, within vnode variance); every key
+// owned by a surviving member keeps its owner exactly.
+func TestRingBoundedMovementOnRemove(t *testing.T) {
+	const n = 8
+	r := NewRing(0) // DefaultVnodes
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("shard%d", i))
+	}
+	keys := sampleKeys(10000)
+	before := owners(r, keys)
+
+	const victim = "shard3"
+	r.Remove(victim)
+	after := owners(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		switch {
+		case before[k] != victim && after[k] != before[k]:
+			t.Fatalf("key %q owned by surviving %s moved to %s on unrelated removal", k, before[k], after[k])
+		case before[k] == victim:
+			moved++
+			if after[k] == victim {
+				t.Fatalf("key %q still maps to removed member", k)
+			}
+		}
+	}
+	// The victim's share is ~1/N; allow 2x for vnode placement variance.
+	bound := 2 * len(keys) / n
+	if moved == 0 || moved > bound {
+		t.Fatalf("removal moved %d/%d keys, want (0, %d] (~1/N with slack)", moved, len(keys), bound)
+	}
+}
+
+// TestRingBoundedMovementOnAdd: adding a member steals only its own arc
+// (~1/N of keys); everything else stays put.
+func TestRingBoundedMovementOnAdd(t *testing.T) {
+	const n = 8
+	r := NewRing(0)
+	for i := 0; i < n-1; i++ {
+		r.Add(fmt.Sprintf("shard%d", i))
+	}
+	keys := sampleKeys(10000)
+	before := owners(r, keys)
+
+	const newcomer = "shard7"
+	r.Add(newcomer)
+	after := owners(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		if after[k] == before[k] {
+			continue
+		}
+		if after[k] != newcomer {
+			t.Fatalf("key %q moved %s -> %s, but only the new member may take keys", k, before[k], after[k])
+		}
+		moved++
+	}
+	bound := 2 * len(keys) / n
+	if moved == 0 || moved > bound {
+		t.Fatalf("addition moved %d/%d keys, want (0, %d]", moved, len(keys), bound)
+	}
+}
+
+// TestRingRemoveAddRestoresOwnership: ownership is a pure function of the
+// membership set — a shard that leaves and returns gets exactly its old
+// arc back, so caches warmed before an outage are warm again after it.
+func TestRingRemoveAddRestoresOwnership(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("shard%d", i))
+	}
+	keys := sampleKeys(5000)
+	before := owners(r, keys)
+	r.Remove("shard2")
+	r.Add("shard2")
+	after := owners(r, keys)
+	for _, k := range keys {
+		if before[k] != after[k] {
+			t.Fatalf("key %q: owner %s before outage, %s after recovery", k, before[k], after[k])
+		}
+	}
+}
+
+// TestRingBalance: with DefaultVnodes the per-member load stays within a
+// factor ~2 of fair share.
+func TestRingBalance(t *testing.T) {
+	const n = 6
+	r := NewRing(0)
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("shard%d", i))
+	}
+	keys := sampleKeys(12000)
+	load := map[string]int{}
+	for _, k := range keys {
+		id, _ := r.Lookup(k)
+		load[id]++
+	}
+	fair := len(keys) / n
+	for id, c := range load {
+		if c < fair/2 || c > 2*fair {
+			t.Fatalf("member %s owns %d keys, fair share %d (allowed [%d, %d])", id, c, fair, fair/2, 2*fair)
+		}
+	}
+}
+
+// TestRingSuccessors: the failover walk starts at the owner and yields
+// distinct live members.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("shard%d", i))
+	}
+	for _, k := range sampleKeys(200) {
+		owner, _ := r.Lookup(k)
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 || succ[0] != owner {
+			t.Fatalf("Successors(%q, 3) = %v, want 3 entries starting at owner %s", k, succ, owner)
+		}
+		seen := map[string]bool{}
+		for _, id := range succ {
+			if seen[id] {
+				t.Fatalf("Successors(%q) repeats %s: %v", k, id, succ)
+			}
+			seen[id] = true
+		}
+	}
+	if got := r.Successors("anything", 10); len(got) != 4 {
+		t.Fatalf("Successors capped at distinct members: got %d, want 4", len(got))
+	}
+	empty := NewRing(0)
+	if _, ok := empty.Lookup("k"); ok {
+		t.Fatal("Lookup on empty ring claimed an owner")
+	}
+}

@@ -1,0 +1,542 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lite/internal/metrics"
+	"lite/internal/serve"
+)
+
+// Options configures the fleet router. The zero value is usable: defaults
+// below, no trainer (feedback is only hashed, never teed, and no flip
+// coordination runs).
+type Options struct {
+	// Vnodes per shard on the hash ring (default DefaultVnodes).
+	Vnodes int
+
+	// ProbeInterval is how often every shard's /healthz is probed (default
+	// 250ms); ProbeTimeout bounds one probe (default 1s) — a shard slower
+	// than this is as bad as a dead one and counts a failure.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+
+	// FailAfter consecutive failed probes (or proxy transport errors) eject
+	// a shard from the ring (default 2). RecoverAfter consecutive good
+	// probes re-admit it (default 2), but never before its readmit backoff
+	// has elapsed: each ejection doubles the wait from ReadmitBackoffMin up
+	// to ReadmitBackoffMax (defaults 500ms and 30s), so a flapping shard
+	// cannot churn the ring.
+	FailAfter         int
+	RecoverAfter      int
+	ReadmitBackoffMin time.Duration
+	ReadmitBackoffMax time.Duration
+
+	// MaxAttempts bounds how many ring successors one request walks before
+	// giving up with 503 (default 3: the owner plus two successors).
+	MaxAttempts int
+
+	// TrainerID designates the shard that runs the adaptive-update loop.
+	// Feedback whose key hashes elsewhere is teed to it asynchronously, and
+	// the flip coordinator watches its generation, fanning each new one out
+	// to every other shard via POST /admin/flip with TrainerSnapshot.
+	TrainerID       string
+	TrainerSnapshot string
+	// FlipInterval is the coordinator's cadence (default ProbeInterval).
+	FlipInterval time.Duration
+
+	// Registry receives the router's lite_fleet_* metrics (default: a fresh
+	// registry, exposed on the router's /metrics).
+	Registry *metrics.Registry
+	// Client overrides the proxy/probe HTTP client (tests).
+	Client *http.Client
+	// Now overrides the clock (tests).
+	Now func() time.Time
+	// Logf overrides the event log sink (default stderr).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Vnodes <= 0 {
+		o.Vnodes = DefaultVnodes
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 250 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 2
+	}
+	if o.RecoverAfter <= 0 {
+		o.RecoverAfter = 2
+	}
+	if o.ReadmitBackoffMin <= 0 {
+		o.ReadmitBackoffMin = 500 * time.Millisecond
+	}
+	if o.ReadmitBackoffMax <= 0 {
+		o.ReadmitBackoffMax = 30 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.FlipInterval <= 0 {
+		o.FlipInterval = o.ProbeInterval
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.NewRegistry()
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Logf == nil {
+		o.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "fleet: "+format+"\n", args...)
+		}
+	}
+	return o
+}
+
+// shard is the router's view of one serving instance. All fields are
+// guarded by Router.mu except id, which never changes.
+type shard struct {
+	id  string
+	url string
+	up  bool
+
+	consecFail int
+	consecOK   int
+	ejections  int
+	// readmitAfter gates re-admission: good probes before it count for
+	// nothing (flap damping).
+	readmitAfter time.Time
+	// health is the shard's last successfully parsed /healthz body;
+	// healthKnown is false until the first good probe.
+	health      serve.HealthResponse
+	healthKnown bool
+	lastErr     string
+}
+
+// Router is the fleet's front door: it consistent-hashes /recommend and
+// /feedback bodies onto live shards, retries ring successors when the
+// owner is unreachable, health-checks the fleet in the background, and
+// coordinates fleet-wide model flips. Safe for concurrent use.
+type Router struct {
+	opts   Options
+	reg    *metrics.Registry
+	ring   *Ring
+	client *http.Client
+
+	mu       sync.Mutex
+	shards   map[string]*shard
+	fleetGen uint64 // highest generation the coordinator has fanned out
+
+	teeCh    chan []byte
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+	started  atomic.Bool
+}
+
+// NewRouter builds a router; add shards with AddShard, then Start it.
+func NewRouter(opts Options) *Router {
+	opts = opts.withDefaults()
+	rt := &Router{
+		opts:   opts,
+		reg:    opts.Registry,
+		ring:   NewRing(opts.Vnodes),
+		client: opts.Client,
+		shards: map[string]*shard{},
+		teeCh:  make(chan []byte, 256),
+		stopCh: make(chan struct{}),
+	}
+	rt.reg.GaugeFunc("lite_fleet_shards", func() float64 {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		return float64(len(rt.shards))
+	})
+	rt.reg.GaugeFunc("lite_fleet_generation", func() float64 {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		return float64(rt.fleetGen)
+	})
+	return rt
+}
+
+// Metrics returns the router's metrics registry.
+func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
+
+// AddShard registers (or re-registers, after a supervisor restart moved it
+// to a new ephemeral port) a shard and admits it to the ring immediately:
+// callers add a shard only once it is listening, and the health checker
+// ejects it within FailAfter probes if that turns out to be wrong.
+func (rt *Router) AddShard(id, url string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	sh := rt.shards[id]
+	if sh == nil {
+		sh = &shard{id: id}
+		rt.shards[id] = sh
+	}
+	sh.url = url
+	sh.consecFail, sh.consecOK = 0, 0
+	sh.readmitAfter = time.Time{}
+	sh.lastErr = ""
+	if !sh.up {
+		sh.up = true
+		if rt.ring.Add(id) {
+			rt.reg.Counter("lite_fleet_ring_moves_total").Inc()
+		}
+	}
+	rt.shardUpGauge(id).Set(1)
+	rt.opts.Logf("shard %s admitted at %s (%d in ring)", id, url, rt.ring.Len())
+}
+
+// MarkDown ejects a shard immediately — the supervisor calls it the moment
+// a shard process exits, so the ring reacts faster than the probe cycle.
+func (rt *Router) MarkDown(id, reason string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if sh := rt.shards[id]; sh != nil {
+		rt.ejectLocked(sh, reason)
+	}
+}
+
+// ejectLocked removes a shard from the ring and arms its readmit backoff.
+// Caller holds rt.mu. Idempotent for already-down shards (the backoff is
+// not re-armed by repeat failure reports).
+func (rt *Router) ejectLocked(sh *shard, reason string) {
+	sh.lastErr = reason
+	if !sh.up {
+		return
+	}
+	sh.up = false
+	sh.consecOK = 0
+	sh.ejections++
+	backoff := rt.opts.ReadmitBackoffMin << (sh.ejections - 1)
+	if backoff > rt.opts.ReadmitBackoffMax || backoff <= 0 {
+		backoff = rt.opts.ReadmitBackoffMax
+	}
+	sh.readmitAfter = rt.opts.Now().Add(backoff)
+	if rt.ring.Remove(sh.id) {
+		rt.reg.Counter("lite_fleet_ring_moves_total").Inc()
+	}
+	rt.reg.Counter("lite_fleet_ejections_total").Inc()
+	rt.shardUpGauge(sh.id).Set(0)
+	rt.opts.Logf("shard %s ejected (%s); arc re-routed to successors, readmit backoff %v (%d in ring)",
+		sh.id, reason, backoff, rt.ring.Len())
+}
+
+func (rt *Router) shardUpGauge(id string) *metrics.Gauge {
+	return rt.reg.Gauge(fmt.Sprintf("lite_fleet_shard_up{shard=%q}", id))
+}
+
+// reportTransportError records a proxy-level connection failure against a
+// shard; enough consecutive ones eject it without waiting for the prober.
+func (rt *Router) reportTransportError(id string, err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	sh := rt.shards[id]
+	if sh == nil {
+		return
+	}
+	sh.consecFail++
+	sh.consecOK = 0
+	if sh.up && sh.consecFail >= rt.opts.FailAfter {
+		rt.ejectLocked(sh, fmt.Sprintf("proxy: %v", err))
+	}
+}
+
+// Start launches the health checker, the flip coordinator (when a trainer
+// is designated) and the feedback tee worker.
+func (rt *Router) Start() {
+	if rt.started.Swap(true) {
+		return
+	}
+	rt.wg.Add(1)
+	go rt.healthLoop()
+	if rt.opts.TrainerID != "" {
+		rt.wg.Add(1)
+		go rt.flipLoop()
+	}
+	rt.wg.Add(1)
+	go rt.teeLoop()
+}
+
+// Stop halts the background loops and waits for them.
+func (rt *Router) Stop() {
+	rt.stopOnce.Do(func() { close(rt.stopCh) })
+	rt.wg.Wait()
+}
+
+// Handler returns the router's HTTP surface:
+//
+//	POST /recommend, /feedback — consistent-hash proxy onto the fleet
+//	GET  /healthz              — fleet + per-shard health JSON
+//	GET  /metrics              — router metrics (lite_fleet_*)
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxy(w, r, "/recommend")
+	})
+	mux.HandleFunc("/feedback", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxy(w, r, "/feedback")
+	})
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		rt.reg.WriteText(w)
+	})
+	return mux
+}
+
+// routingBody is the subset of a /recommend or /feedback body the router
+// needs to place the request; unknown fields are the shard's business.
+type routingBody struct {
+	App     string  `json:"app"`
+	SizeMB  float64 `json:"size_mb"`
+	Cluster string  `json:"cluster"`
+}
+
+// routingKey derives the sharding key from a request body. A body the
+// serving layer would reject still hashes deterministically (on its raw
+// fields) so the 400 comes from a consistently chosen shard.
+func routingKey(body []byte) string {
+	var b routingBody
+	if err := json.Unmarshal(body, &b); err != nil {
+		return string(body)
+	}
+	key, err := serve.RoutingKey(b.App, b.SizeMB, b.Cluster)
+	if err != nil {
+		return fmt.Sprintf("%s|%g|%s", b.App, b.SizeMB, b.Cluster)
+	}
+	return key
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// proxy routes one request to its key's owner shard, walking ring
+// successors on transport failures — so a freshly dead shard's arc is
+// served by its successors even before the health checker ejects it.
+// Shard HTTP responses (including 4xx/5xx the shard chose to send) are
+// relayed as-is; only connection-level failures re-route.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, endpoint string) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST with a JSON body"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "reading request body: " + err.Error()})
+		return
+	}
+	key := routingKey(body)
+	order := rt.ring.Successors(key, rt.opts.MaxAttempts)
+	if len(order) == 0 {
+		rt.reg.Counter("lite_fleet_no_shard_total").Inc()
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "fleet: no live shards"})
+		return
+	}
+	var lastErr error
+	for i, id := range order {
+		url := rt.shardURL(id)
+		if url == "" {
+			continue
+		}
+		resp, err := rt.forward(r, url, endpoint, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				// The client's budget ran out mid-walk; no shard is at fault.
+				writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: r.Context().Err().Error()})
+				return
+			}
+			rt.reportTransportError(id, err)
+			rt.reg.Counter(fmt.Sprintf("lite_fleet_proxy_errors_total{shard=%q}", id)).Inc()
+			lastErr = err
+			continue
+		}
+		if i > 0 {
+			rt.reg.Counter("lite_fleet_rerouted_total").Inc()
+		}
+		if endpoint == "/feedback" && rt.opts.TrainerID != "" && id != rt.opts.TrainerID &&
+			resp.StatusCode == http.StatusOK {
+			rt.tee(body)
+		}
+		rt.relay(w, resp, id)
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable,
+		errorResponse{Error: fmt.Sprintf("fleet: no reachable shard for key (last error: %v)", lastErr)})
+}
+
+// shardURL resolves a member id to its base URL ("" if it vanished).
+func (rt *Router) shardURL(id string) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if sh := rt.shards[id]; sh != nil {
+		return sh.url
+	}
+	return ""
+}
+
+// forward posts body to one shard under the client's context and observes
+// the per-shard proxy latency histogram.
+func (rt *Router) forward(r *http.Request, url, endpoint string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url+endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := rt.opts.Now()
+	resp, err := rt.client.Do(req)
+	rt.reg.Histogram(fmt.Sprintf("lite_fleet_proxy_seconds{endpoint=%q}", endpoint), nil).
+		Observe(rt.opts.Now().Sub(start).Seconds())
+	return resp, err
+}
+
+// relay copies a shard's response to the client, tagging which shard
+// answered so load tools can report per-shard skew.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, id string) {
+	defer resp.Body.Close()
+	rt.reg.Counter(fmt.Sprintf("lite_fleet_requests_total{shard=%q,code=\"%d\"}", id, resp.StatusCode)).Inc()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Lite-Shard", id)
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		rt.reg.Counter("lite_fleet_relay_errors_total").Inc()
+	}
+}
+
+// tee enqueues a feedback body for async delivery to the trainer shard.
+// Feedback is a training signal, not a synchronous dependency: a full tee
+// queue drops (counted) rather than slowing the serving path.
+func (rt *Router) tee(body []byte) {
+	select {
+	case rt.teeCh <- body:
+		rt.reg.Counter("lite_fleet_feedback_teed_total").Inc()
+	default:
+		rt.reg.Counter("lite_fleet_feedback_tee_dropped_total").Inc()
+	}
+}
+
+// teeLoop delivers teed feedback to the trainer.
+func (rt *Router) teeLoop() {
+	defer rt.wg.Done()
+	for {
+		select {
+		case <-rt.stopCh:
+			return
+		case body := <-rt.teeCh:
+			url := rt.shardURL(rt.opts.TrainerID)
+			if url == "" {
+				continue
+			}
+			req, err := http.NewRequest(http.MethodPost, url+"/feedback", bytes.NewReader(body))
+			if err != nil {
+				continue
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				rt.reg.Counter("lite_fleet_feedback_tee_errors_total").Inc()
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				rt.reg.Counter("lite_fleet_feedback_tee_errors_total").Inc()
+			}
+		}
+	}
+}
+
+// FleetHealth is the router's GET /healthz body: fleet-wide status plus
+// the health checker's last view of every shard.
+type FleetHealth struct {
+	Status string `json:"status"`
+	// Generation is the highest model generation the flip coordinator has
+	// fanned out fleet-wide.
+	Generation uint64        `json:"generation"`
+	Up         int           `json:"up"`
+	Shards     []ShardHealth `json:"shards"`
+}
+
+// ShardHealth is one shard's entry in FleetHealth.
+type ShardHealth struct {
+	ID       string `json:"id"`
+	URL      string `json:"url"`
+	Up       bool   `json:"up"`
+	Trainer  bool   `json:"trainer"`
+	Follower bool   `json:"follower"`
+	// Generation, WALUnfolded, SnapshotAgeSeconds and Inflight mirror the
+	// shard's own JSON /healthz as of the last successful probe.
+	Generation         uint64  `json:"generation"`
+	WALUnfolded        uint64  `json:"wal_unfolded"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	Inflight           int     `json:"inflight"`
+	Ejections          int     `json:"ejections"`
+	LastError          string  `json:"last_error,omitempty"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	fh := FleetHealth{Generation: rt.fleetGen}
+	ids := make([]string, 0, len(rt.shards))
+	for id := range rt.shards {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sh := rt.shards[id]
+		e := ShardHealth{
+			ID: sh.id, URL: sh.url, Up: sh.up,
+			Trainer:   sh.id == rt.opts.TrainerID,
+			Ejections: sh.ejections,
+			LastError: sh.lastErr,
+		}
+		if sh.healthKnown {
+			e.Generation = sh.health.Generation
+			e.WALUnfolded = sh.health.WALUnfolded
+			e.SnapshotAgeSeconds = sh.health.SnapshotAgeSeconds
+			e.Inflight = sh.health.Inflight
+			e.Follower = sh.health.Follower
+		}
+		if sh.up {
+			fh.Up++
+		}
+		fh.Shards = append(fh.Shards, e)
+	}
+	rt.mu.Unlock()
+	code := http.StatusOK
+	fh.Status = "ok"
+	if fh.Up == 0 {
+		fh.Status = "down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, fh)
+}

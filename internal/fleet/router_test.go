@@ -1,0 +1,367 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lite/internal/serve"
+)
+
+// fakeShard is an in-process stand-in for a liteserve shard: it serves the
+// JSON /healthz contract, echoes /recommend and /feedback, and applies
+// /admin/flip by adopting the requested generation.
+type fakeShard struct {
+	id       string
+	srv      *httptest.Server
+	gen      atomic.Uint64
+	healthy  atomic.Bool
+	recs     atomic.Int64
+	feeds    atomic.Int64
+	lastFlip atomic.Value // serve.FlipRequest
+}
+
+func newFakeShard(t *testing.T, id string) *fakeShard {
+	t.Helper()
+	f := &fakeShard{id: id}
+	f.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !f.healthy.Load() {
+			http.Error(w, "sick", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(serve.HealthResponse{Status: "ok", Generation: f.gen.Load(), Follower: id != "shard0"})
+	})
+	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) {
+		f.recs.Add(1)
+		json.NewEncoder(w).Encode(map[string]any{"served_by": f.id, "generation": f.gen.Load()})
+	})
+	mux.HandleFunc("/feedback", func(w http.ResponseWriter, r *http.Request) {
+		f.feeds.Add(1)
+		json.NewEncoder(w).Encode(map[string]any{"queued": true})
+	})
+	mux.HandleFunc("/admin/flip", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.FlipRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		f.lastFlip.Store(req)
+		f.gen.Store(req.Generation)
+		json.NewEncoder(w).Encode(serve.FlipResponse{Generation: req.Generation})
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func recommendBody(app, cluster string, sizeMB float64) []byte {
+	b, _ := json.Marshal(map[string]any{"app": app, "size_mb": sizeMB, "cluster": cluster})
+	return b
+}
+
+// testBodies is a spread of real (app, size, cluster) keys so requests
+// land across several shards.
+func testBodies() [][]byte {
+	apps := []string{"WordCount", "KMeans", "PageRank", "TeraSort"}
+	clusters := []string{"A", "B", "C"}
+	sizes := []float64{256, 1024, 4096}
+	var out [][]byte
+	for i, app := range apps {
+		for j, cl := range clusters {
+			out = append(out, recommendBody(app, cl, sizes[(i+j)%len(sizes)]))
+		}
+	}
+	return out
+}
+
+func post(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+// TestRouterConsistentPlacement: the same body always lands on the same
+// shard, and the key spread uses more than one shard.
+func TestRouterConsistentPlacement(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t, "shard0"), newFakeShard(t, "shard1"), newFakeShard(t, "shard2")}
+	rt := NewRouter(Options{})
+	for _, f := range shards {
+		rt.AddShard(f.id, f.srv.URL)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	used := map[string]bool{}
+	for _, body := range testBodies() {
+		var owner string
+		for rep := 0; rep < 5; rep++ {
+			resp := post(t, front.URL+"/recommend", body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+			got := resp.Header.Get("X-Lite-Shard")
+			if owner == "" {
+				owner = got
+			} else if got != owner {
+				t.Fatalf("body %s flapped %s -> %s", body, owner, got)
+			}
+		}
+		used[owner] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("all keys landed on one shard: %v", used)
+	}
+}
+
+// TestRouterFailoverUnderTraffic kills one shard under concurrent load and
+// requires zero client-visible errors: in-window requests re-route to ring
+// successors on connection failure, and the health checker ejects the dead
+// shard so later requests never try it.
+func TestRouterFailoverUnderTraffic(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t, "shard0"), newFakeShard(t, "shard1"), newFakeShard(t, "shard2")}
+	rt := NewRouter(Options{
+		ProbeInterval:     10 * time.Millisecond,
+		ProbeTimeout:      200 * time.Millisecond,
+		FailAfter:         2,
+		RecoverAfter:      2,
+		ReadmitBackoffMin: 10 * time.Millisecond,
+	})
+	for _, f := range shards {
+		rt.AddShard(f.id, f.srv.URL)
+	}
+	rt.Start()
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	bodies := testBodies()
+	var failures atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(front.URL+"/recommend", "application/json",
+					bytes.NewReader(bodies[(w+i)%len(bodies)]))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	victim := shards[1]
+	victim.srv.CloseClientConnections()
+	victim.srv.Close()
+
+	// Let the health checker notice and traffic continue through it.
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d client-visible failures across the shard kill, want 0 (successor re-route)", n)
+	}
+	if got := rt.Metrics().Counter("lite_fleet_ejections_total").Value(); got < 1 {
+		t.Fatalf("dead shard never ejected (ejections=%d)", got)
+	}
+
+	// After the window the dead shard is out of the ring: its arc belongs
+	// to successors and no request touches it.
+	preRecs := victim.recs.Load()
+	for _, body := range bodies {
+		resp := post(t, front.URL+"/recommend", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-window request failed: %d", resp.StatusCode)
+		}
+		if sh := resp.Header.Get("X-Lite-Shard"); sh == victim.id {
+			t.Fatalf("request routed to dead shard %s after ejection", sh)
+		}
+	}
+	if victim.recs.Load() != preRecs {
+		t.Fatal("dead shard served requests after ejection")
+	}
+}
+
+// TestRouterEjectAndReadmit: a shard whose /healthz starts failing is
+// ejected after FailAfter probes; once healthy again it is re-admitted
+// after its backoff plus RecoverAfter good probes, and its old arc comes
+// back to it (ring ownership is a pure function of membership).
+func TestRouterEjectAndReadmit(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t, "shard0"), newFakeShard(t, "shard1"), newFakeShard(t, "shard2")}
+	rt := NewRouter(Options{
+		ProbeInterval:     10 * time.Millisecond,
+		ProbeTimeout:      200 * time.Millisecond,
+		FailAfter:         2,
+		RecoverAfter:      2,
+		ReadmitBackoffMin: 20 * time.Millisecond,
+	})
+	for _, f := range shards {
+		rt.AddShard(f.id, f.srv.URL)
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", desc)
+	}
+	upGauge := rt.Metrics().Gauge(fmt.Sprintf("lite_fleet_shard_up{shard=%q}", "shard2"))
+
+	shards[2].healthy.Store(false)
+	waitFor("ejection", func() bool { return upGauge.Value() == 0 })
+	if rt.ring.Len() != 2 {
+		t.Fatalf("ring has %d members after ejection, want 2", rt.ring.Len())
+	}
+
+	shards[2].healthy.Store(true)
+	waitFor("readmission", func() bool { return upGauge.Value() == 1 })
+	if rt.ring.Len() != 3 {
+		t.Fatalf("ring has %d members after readmission, want 3", rt.ring.Len())
+	}
+	if got := rt.Metrics().Counter("lite_fleet_readmissions_total").Value(); got < 1 {
+		t.Fatalf("readmissions counter = %d, want >= 1", got)
+	}
+}
+
+// TestCoordinatorFlipsFleet: when the trainer's generation advances, every
+// other live shard is flipped to the trainer's published snapshot at that
+// generation, and the fleet /healthz converges to one generation.
+func TestCoordinatorFlipsFleet(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t, "shard0"), newFakeShard(t, "shard1"), newFakeShard(t, "shard2")}
+	rt := NewRouter(Options{
+		ProbeInterval:   10 * time.Millisecond,
+		TrainerID:       "shard0",
+		TrainerSnapshot: "/fleet/shard0/snapshot.json",
+	})
+	for _, f := range shards {
+		rt.AddShard(f.id, f.srv.URL)
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	shards[0].gen.Store(3) // the trainer publishes generation 3
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if shards[1].gen.Load() == 3 && shards[2].gen.Load() == 3 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if shards[1].gen.Load() != 3 || shards[2].gen.Load() != 3 {
+		t.Fatalf("followers at generations %d/%d, want 3/3", shards[1].gen.Load(), shards[2].gen.Load())
+	}
+	flip, _ := shards[1].lastFlip.Load().(serve.FlipRequest)
+	if flip.SnapshotPath != "/fleet/shard0/snapshot.json" || flip.Generation != 3 {
+		t.Fatalf("flip request = %+v, want trainer snapshot at generation 3", flip)
+	}
+
+	// The fleet /healthz reports one generation across live shards.
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(front.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fh FleetHealth
+		json.NewDecoder(resp.Body).Decode(&fh)
+		resp.Body.Close()
+		ok := fh.Status == "ok" && fh.Generation == 3 && len(fh.Shards) == 3
+		for _, sh := range fh.Shards {
+			ok = ok && sh.Up && sh.Generation == 3
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet health never converged to generation 3: %+v", fh)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFeedbackTee: feedback whose key hashes to a non-trainer shard is
+// acked by that owner and teed asynchronously to the trainer, so the
+// trainer's update loop sees the full feedback stream.
+func TestFeedbackTee(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t, "shard0"), newFakeShard(t, "shard1"), newFakeShard(t, "shard2")}
+	rt := NewRouter(Options{
+		ProbeInterval: 10 * time.Millisecond,
+		TrainerID:     "shard0",
+	})
+	for _, f := range shards {
+		rt.AddShard(f.id, f.srv.URL)
+	}
+	rt.Start()
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// Find a body owned by a non-trainer shard.
+	var body []byte
+	var owner string
+	for _, b := range testBodies() {
+		resp := post(t, front.URL+"/feedback", b)
+		resp.Body.Close()
+		if sh := resp.Header.Get("X-Lite-Shard"); sh != "shard0" {
+			body, owner = b, sh
+			break
+		}
+	}
+	if body == nil {
+		t.Fatal("no test key hashed off the trainer")
+	}
+
+	trainerBefore := shards[0].feeds.Load()
+	for i := 0; i < 5; i++ {
+		resp := post(t, front.URL+"/feedback", body)
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Lite-Shard"); got != owner {
+			t.Fatalf("feedback owner flapped %s -> %s", owner, got)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for shards[0].feeds.Load() < trainerBefore+5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("trainer received %d teed feedbacks, want %d",
+				shards[0].feeds.Load()-trainerBefore, 5)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := rt.Metrics().Counter("lite_fleet_feedback_teed_total").Value(); got < 5 {
+		t.Fatalf("teed counter = %d, want >= 5", got)
+	}
+}

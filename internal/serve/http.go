@@ -28,6 +28,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/feedback", s.instrument("feedback", http.HandlerFunc(s.handleFeedback)))
 	mux.Handle("/healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.opts.EnableAdmin {
+		mux.Handle("/admin/flip", s.instrument("admin_flip", http.HandlerFunc(s.handleFlip)))
+	}
 	return mux
 }
 
@@ -168,21 +171,82 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-type healthResponse struct {
+// HealthResponse is the JSON body of GET /healthz: always 200 with
+// status "ok" while the process serves (existing probes key on the status
+// code alone), plus the signals a fleet health checker and flip
+// coordinator act on — which model generation is live, how stale the
+// durable snapshot is, how loaded the pipeline is, and how much accepted
+// feedback has not yet been folded into a durable model.
+type HealthResponse struct {
 	Status     string `json:"status"`
 	Generation uint64 `json:"generation"`
 	Feedbacks  int    `json:"feedbacks"`
 	SnapshotAt string `json:"snapshot_at"`
+	// SnapshotAgeSeconds is the age of the last successfully persisted
+	// snapshot; −1 when persistence is off or nothing has persisted yet.
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// Inflight is the number of requests currently inside the pipeline
+	// (0 when admission control is disabled).
+	Inflight int `json:"inflight"`
+	// WALUnfolded is the depth of accepted-but-not-yet-folded feedback in
+	// the write-ahead log (0 when the WAL is off).
+	WALUnfolded uint64 `json:"wal_unfolded"`
+	// Follower reports fleet-follower mode: no local retraining, model
+	// advances via /admin/flip.
+	Follower bool `json:"follower"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
-	s.writeJSON(w, http.StatusOK, healthResponse{
-		Status:     "ok",
-		Generation: snap.Gen,
-		Feedbacks:  snap.Feedbacks,
-		SnapshotAt: snap.CreatedAt.Format(time.RFC3339Nano),
-	})
+	resp := HealthResponse{
+		Status:             "ok",
+		Generation:         snap.Gen,
+		Feedbacks:          snap.Feedbacks,
+		SnapshotAt:         snap.CreatedAt.Format(time.RFC3339Nano),
+		SnapshotAgeSeconds: -1,
+		Inflight:           len(s.inflight),
+		Follower:           s.opts.Follower,
+	}
+	if last := s.lastPersistNanos.Load(); last != 0 {
+		resp.SnapshotAgeSeconds = time.Duration(s.opts.Now().UnixNano() - last).Seconds()
+	}
+	if s.wal != nil {
+		if st := s.wal.Stats(); st.LastSeq > st.Folded {
+			resp.WALUnfolded = st.LastSeq - st.Folded
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// FlipRequest asks a shard to hot-swap to an already-published snapshot
+// file (POST /admin/flip) as the given generation — the flip half of the
+// fleet's publish-then-flip protocol.
+type FlipRequest struct {
+	SnapshotPath string `json:"snapshot_path"`
+	Generation   uint64 `json:"generation"`
+}
+
+// FlipResponse reports the shard's live generation after the flip (which
+// may exceed the requested one if a newer flip already landed).
+type FlipResponse struct {
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) handleFlip(w http.ResponseWriter, r *http.Request) {
+	var req FlipRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.SnapshotPath == "" || req.Generation == 0 {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "snapshot_path and generation are required"})
+		return
+	}
+	gen, err := s.FlipTo(req.SnapshotPath, req.Generation)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, FlipResponse{Generation: gen})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

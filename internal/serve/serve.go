@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -144,6 +145,19 @@ type Options struct {
 	// <SnapshotPath>.quarantine.jsonl, else quarantine is disabled.
 	QuarantinePath string
 
+	// Follower runs the server as a fleet follower (DESIGN.md §10): the
+	// adaptive-update loop is not started, accepted feedback is WAL-logged
+	// (when WALDir is set) and acknowledged but never enqueued for local
+	// retraining, and the model only advances when a fleet coordinator
+	// flips it to a published snapshot via FlipTo / POST /admin/flip.
+	// Follower implies EnableAdmin.
+	Follower bool
+
+	// EnableAdmin registers the /admin/flip endpoint (fleet-coordinated
+	// hot-swap). Off by default: a standalone liteserve should not expose a
+	// "replace my model with this file" surface.
+	EnableAdmin bool
+
 	// ChaosCorruptEveryN and ChaosPanicEveryN are chaos-engineering
 	// failpoints (0 = off, the production setting): every Nth retrain
 	// attempt respectively poisons the candidate's weights with NaNs
@@ -182,6 +196,9 @@ func (o Options) withDefaults() Options {
 	if o.Now == nil {
 		o.Now = time.Now
 	}
+	if o.Follower {
+		o.EnableAdmin = true
+	}
 	if o.PersistRetries <= 0 {
 		o.PersistRetries = 3
 	}
@@ -216,9 +233,13 @@ type Snapshot struct {
 // methods are safe for concurrent use; the hot path (Recommend) reads an
 // immutable snapshot and never blocks on training.
 type Server struct {
-	opts  Options
-	snap  atomic.Pointer[Snapshot]
-	cache *ttlCache
+	opts Options
+	snap atomic.Pointer[Snapshot]
+	// publishMu serializes snapshot publication (the update loop's retrain
+	// and an admin-initiated FlipTo can otherwise interleave and regress the
+	// generation); readers never take it — they load the atomic pointer.
+	publishMu sync.Mutex
+	cache     *ttlCache
 	batch *batcher
 	reg   *metrics.Registry
 	// inflight is the admission-control semaphore (nil when
@@ -372,9 +393,52 @@ func (s *Server) Start() error {
 		s.persistSnapshot(s.snap.Load().Tuner)
 	}
 	s.batch.start()
+	if s.opts.Follower {
+		// A follower never retrains: its model advances only through FlipTo.
+		// WAL-recovered feedback (accepted before a crash, never folded here)
+		// is intentionally left unfolded — the fleet trainer owns training.
+		return nil
+	}
 	s.wg.Add(1)
 	go s.superviseUpdateLoop()
 	return nil
+}
+
+// FlipTo loads a published tuner snapshot from path and publishes it as
+// generation gen — the follower half of the fleet's publish-then-flip
+// hot-swap protocol (DESIGN.md §10): a trainer persists and validates the
+// snapshot first, then the coordinator flips every follower to it, so all
+// shards serve the same weights under the same generation number. A flip
+// to a generation at or below the live one is a no-op (replayed or
+// reordered flips must not regress the model); the recommendation cache is
+// flushed so no pre-flip answer outlives the swap. Safe for concurrent use
+// with serving and with the local update loop.
+func (s *Server) FlipTo(path string, gen uint64) (uint64, error) {
+	if cur := s.snap.Load(); gen <= cur.Gen {
+		return cur.Gen, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return s.snap.Load().Gen, fmt.Errorf("serve: flip: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	tuner, err := core.LoadTuner(f, s.opts.Seed)
+	if err != nil {
+		// A snapshot that does not load must never replace a serving model.
+		return s.snap.Load().Gen, fmt.Errorf("serve: flip: loading snapshot %s: %w", path, err)
+	}
+	s.publishMu.Lock()
+	defer s.publishMu.Unlock()
+	cur := s.snap.Load()
+	if gen <= cur.Gen {
+		return cur.Gen, nil
+	}
+	next := &Snapshot{Tuner: tuner, Gen: gen, CreatedAt: s.opts.Now(), Feedbacks: cur.Feedbacks}
+	s.snap.Store(next)
+	s.cache.flush(next.Gen)
+	s.reg.Counter("lite_flips_total").Inc()
+	s.reg.Gauge("lite_snapshot_generation").Set(float64(next.Gen))
+	return next.Gen, nil
 }
 
 // replayItem turns one recovered WAL record back into a queued feedback
@@ -509,6 +573,28 @@ func envFingerprint(env sparksim.Environment) string {
 
 func requestKey(appName string, sizeMB float64, env sparksim.Environment) string {
 	return fmt.Sprintf("%s|b%d|%s", appName, sizeBucket(sizeMB), envFingerprint(env))
+}
+
+// RoutingKey is the sharding key a fleet router hashes to place a request:
+// the same (app, datasize bucket, env fingerprint) string the cache and the
+// batcher key on, so routing by it keeps each shard's cache and batcher hot
+// on its slice of the keyspace. sizeMB <= 0 defaults to the app's test
+// size, exactly as the serving path does. An unresolvable app or cluster
+// returns an error; the router may still forward such a request (the shard
+// answers 400), it just cannot place it better than arbitrarily.
+func RoutingKey(appName string, sizeMB float64, cluster string) (string, error) {
+	app := workload.ByName(appName)
+	if app == nil {
+		return "", badRequest("unknown application %q", appName)
+	}
+	env, ok := ClusterByName(cluster)
+	if !ok {
+		return "", badRequest("unknown cluster %q", cluster)
+	}
+	if sizeMB <= 0 {
+		sizeMB = app.Sizes.Test
+	}
+	return requestKey(app.Spec.Name, sizeMB, env), nil
 }
 
 // ClusterByName resolves a cluster name (case-insensitive) to its

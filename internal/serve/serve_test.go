@@ -170,7 +170,7 @@ func TestFeedbackHealthzMetricsEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var h healthResponse
+	var h HealthResponse
 	if err := json.NewDecoder(res.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}

@@ -97,6 +97,15 @@ func (s *Server) FeedbackCtx(ctx context.Context, req FeedbackRequest) (Feedback
 			}
 		}
 	}
+	if s.opts.Follower {
+		// Followers never retrain locally: the feedback is durable in the
+		// WAL when one is configured, and the fleet router tees every
+		// feedback to the trainer shard, whose retrain reaches this shard
+		// through the flip protocol (DESIGN.md §10). Acknowledged but not
+		// queued — there is no local update loop to consume it.
+		s.reg.Counter("lite_feedback_total").Inc()
+		return FeedbackResponse{Queued: false, Generation: s.snap.Load().Gen, Seq: item.seq}, nil
+	}
 	select {
 	case s.feedbackCh <- item:
 		s.reg.Counter("lite_feedback_total").Inc()
@@ -302,13 +311,19 @@ func (s *Server) retrain(batch []pendingRun) {
 	// always durable on disk (restart serves exactly what crashed).
 	persisted := s.persistSnapshot(clone)
 
+	// Publication is serialized with FlipTo; the generation is recomputed
+	// under the lock so a fleet flip landing mid-retrain is never regressed
+	// by a snapshot numbered off a stale read.
+	s.publishMu.Lock()
+	latest := s.snap.Load()
 	next := &Snapshot{
 		Tuner:     clone,
-		Gen:       cur.Gen + 1,
+		Gen:       latest.Gen + 1,
 		CreatedAt: s.opts.Now(),
-		Feedbacks: cur.Feedbacks + len(batch),
+		Feedbacks: latest.Feedbacks + len(batch),
 	}
 	s.snap.Store(next)
+	s.publishMu.Unlock()
 	s.cache.flush(next.Gen)
 	s.markFolded(maxSeq, persisted)
 	s.retrainFailures = 0
