@@ -60,8 +60,9 @@ func main() {
 		"extra":    func() string { return experiments.Extra(suite).Format() },
 		"ablation": func() string { return experiments.Ablation(suite).Format() },
 		"faults":   func() string { return experiments.Faults(suite).Format() },
+		"sessions": func() string { return experiments.Sessions(suite).Format() },
 	}
-	order := []string{"fig1", "fig9", "table6", "fig8", "table7", "table8", "table9", "table10", "table11", "fig10", "table12", "overhead", "extra", "ablation", "faults"}
+	order := []string{"fig1", "fig9", "table6", "fig8", "table7", "table8", "table9", "table10", "table11", "fig10", "table12", "overhead", "extra", "ablation", "faults", "sessions"}
 
 	if *list {
 		ids := make([]string, 0, len(runners))

@@ -88,11 +88,11 @@ func run(addr string, shards int, dir, modelPath, liteserveBin string, configs, 
 	}
 
 	router := fleet.NewRouter(fleet.Options{
-		ProbeInterval: probeInterval,
-		ProbeTimeout:  probeTimeout,
-		FailAfter:     failAfter,
-		RecoverAfter:  recoverAfter,
-		TrainerID:     "shard0",
+		ProbeInterval:   probeInterval,
+		ProbeTimeout:    probeTimeout,
+		FailAfter:       failAfter,
+		RecoverAfter:    recoverAfter,
+		TrainerID:       "shard0",
 		TrainerSnapshot: filepath.Join(dir, "shard0", "snapshot.json"),
 	})
 	sup := fleet.NewSupervisor(router, fleet.SupervisorOptions{

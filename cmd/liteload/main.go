@@ -13,18 +13,24 @@
 //	liteload -url http://127.0.0.1:8380   # drive a litefleet router: the
 //	                                      # report adds per-shard request
 //	                                      # share, p50/p99 and cache-hit skew
+//	liteload -url ... -sessions           # drive tuning-session lifecycles
+//	                                      # (create → propose → measure →
+//	                                      # report → close) instead of
+//	                                      # /v1/recommend traffic
+//
+// Remote mode speaks the typed /v1 client (pkg/client). A server rejection
+// outside the expected overload surface (shed, queue-full, deadline) is a
+// harness bug, not load: liteload fails fast with the server's error code
+// and message instead of burying it in the errors column.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
-	"net/http"
 	"os"
 	"sort"
 	"sync"
@@ -33,6 +39,8 @@ import (
 	"lite/internal/core"
 	"lite/internal/serve"
 	"lite/internal/workload"
+	"lite/pkg/api"
+	"lite/pkg/client"
 )
 
 func main() {
@@ -44,7 +52,19 @@ func main() {
 	url := flag.String("url", "", "drive a running liteserve instead of in-process servers")
 	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = none); timed-out requests count in the deadline column")
 	maxInFlight := flag.Int("max-inflight", 0, "in-process passes: shed load beyond this many concurrent requests (0 = unbounded)")
+	sessions := flag.Bool("sessions", false, "remote mode: drive tuning-session lifecycles (one per key) instead of recommend traffic")
+	strategy := flag.String("strategy", "moderate", "session mode: exploration strategy (conservative|moderate|aggressive)")
+	trials := flag.Int("trials", 0, "session mode: trial budget per session (0 = strategy default)")
 	flag.Parse()
+
+	if *sessions {
+		if *url == "" {
+			fmt.Fprintln(os.Stderr, "liteload: -sessions needs -url (a running liteserve or litefleet)")
+			os.Exit(1)
+		}
+		runSessions(*url, *keys, *trials, *strategy, *seed, *timeout)
+		return
+	}
 
 	reqs := makeTraffic(*n, *keys, *seed)
 
@@ -267,47 +287,46 @@ func runRemote(url string, reqs []serve.RecommendRequest, workers int, timeout t
 	if timeout <= 0 {
 		timeout = 60 * time.Second
 	}
-	client := &http.Client{Timeout: timeout}
+	cl := client.New(url, client.WithTimeout(timeout))
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				body, _ := json.Marshal(reqs[i])
 				t0 := time.Now()
-				httpRes, err := client.Post(url+"/recommend", "application/json", bytes.NewReader(body))
+				resp, meta, err := cl.RecommendMeta(context.Background(), reqs[i])
 				lat := time.Since(t0)
-				var resp serve.RecommendResponse
-				ok := err == nil && httpRes.StatusCode == http.StatusOK
-				var status int
-				if err == nil {
-					status = httpRes.StatusCode
-					if ok {
-						ok = json.NewDecoder(httpRes.Body).Decode(&resp) == nil
-					}
-					httpRes.Body.Close()
-				}
 				mu.Lock()
 				res.lats = append(res.lats, lat)
+				var ae *client.APIError
 				switch {
-				case ok:
+				case err == nil:
 					record(&res, resp)
-					recordShard(&res, httpRes.Header.Get("X-Lite-Shard"), lat, resp.Cached)
+					recordShard(&res, meta.Shard, lat, resp.Cached)
 					markUp(&res)
-				case err != nil && isTimeout(err):
+				case errors.As(err, &ae):
+					switch ae.Code {
+					case api.CodeDeadlineExceeded:
+						res.deadline++
+					case api.CodeOverloaded, api.CodeQueueFull, api.CodeUnavailable:
+						res.shed++
+					default:
+						// Any other server rejection (invalid_argument,
+						// not_found, …) means liteload is sending requests
+						// the API refuses — a harness bug. Fail fast with
+						// the server's own message instead of counting it
+						// as anonymous load-failure noise.
+						mu.Unlock()
+						fatalf("server rejected request: %v", ae)
+					}
+				case isTimeout(err):
 					res.deadline++
-				case err != nil:
+				default:
 					// Connection refused/reset: the server is down or mid-
 					// restart. Counted apart from hard errors so a chaos run
 					// can bound its restart window.
 					markDown(&res)
-				case status == http.StatusGatewayTimeout:
-					res.deadline++
-				case status == http.StatusServiceUnavailable:
-					res.shed++
-				default:
-					res.errors++
 				}
 				mu.Unlock()
 			}
@@ -320,6 +339,106 @@ func runRemote(url string, reqs []serve.RecommendRequest, workers int, timeout t
 	wg.Wait()
 	res.wall = time.Since(start)
 	return res
+}
+
+// fatalf aborts the run with a clear message; used when the server's reply
+// shows a request-shape problem no amount of retrying fixes.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "liteload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runSessions drives one full tuning-session lifecycle per key against a
+// remote server: create (the server anchors the static-safe baseline),
+// then propose → measure (simulator ground truth) → report until the
+// budget is spent, then close — printing per-session baseline vs best and
+// the violation count. This is the session analogue of the recommend
+// traffic: it exercises the whole /v1/tuning/sessions surface end to end.
+func runSessions(url string, keys, trials int, strategy string, seed int64, timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	_ = seed // traffic here is the deterministic key list itself
+	cl := client.New(url, client.WithTimeout(timeout))
+	ctx := context.Background()
+	combos := sessionCombos(keys)
+
+	fmt.Printf("%-12s %-8s %-8s %-10s %-9s %-9s %-7s %-6s %-5s\n",
+		"app", "size_mb", "cluster", "strategy", "baseline", "best", "gain", "trials", "viol")
+	var wins int
+	for _, req := range combos {
+		req.Strategy = strategy
+		req.MaxTrials = trials
+		sess, err := cl.CreateSession(ctx, req)
+		if err != nil {
+			fatalf("create session for %s/%g/%s: %v", req.App, req.SizeMB, req.Cluster, err)
+		}
+		for {
+			prop, err := cl.NextProposal(ctx, sess.ID)
+			if client.ErrorCode(err) == api.CodeBudgetExhausted {
+				break
+			}
+			if err != nil {
+				fatalf("proposal for %s: %v", sess.ID, err)
+			}
+			cfg, err := serve.ConfigFromMap(prop.Config)
+			if err != nil {
+				fatalf("proposal %s trial %d returned a malformed config: %v", sess.ID, prop.Trial, err)
+			}
+			run, err := serve.SimulateOnce(sess.App, sess.SizeMB, sess.Cluster, cfg)
+			if err != nil {
+				fatalf("simulating trial %d of %s: %v", prop.Trial, sess.ID, err)
+			}
+			seconds, failed := run.Seconds, run.Failed
+			// Honor the proposal's guard-rail: a real client kills the
+			// trial at abort_after_seconds; the simulator equivalent is
+			// capping the reported time and flagging the run failed.
+			if prop.AbortAfterSeconds > 0 && seconds > prop.AbortAfterSeconds {
+				seconds, failed = prop.AbortAfterSeconds, true
+			}
+			if _, err := cl.ReportResult(ctx, sess.ID, api.ReportResultRequest{
+				Trial: prop.Trial, Seconds: seconds, Failed: failed,
+			}); err != nil {
+				fatalf("reporting trial %d of %s: %v", prop.Trial, sess.ID, err)
+			}
+		}
+		final, err := cl.CloseSession(ctx, sess.ID)
+		if err != nil {
+			fatalf("closing %s: %v", sess.ID, err)
+		}
+		gain := "-"
+		if final.BestSeconds > 0 && final.BaselineSeconds > 0 {
+			g := 100 * (final.BaselineSeconds - final.BestSeconds) / final.BaselineSeconds
+			gain = fmt.Sprintf("%+.1f%%", g)
+			if g > 0 {
+				wins++
+			}
+		}
+		fmt.Printf("%-12s %-8g %-8s %-10s %-9.1f %-9.1f %-7s %-6d %-5d\n",
+			final.App, final.SizeMB, final.Cluster, final.Strategy,
+			final.BaselineSeconds, final.BestSeconds, gain, final.TrialsUsed, final.Violations)
+	}
+	fmt.Printf("\n%d/%d sessions beat their static-safe baseline\n", wins, len(combos))
+}
+
+// sessionCombos picks `keys` distinct (app, size, cluster) targets, the
+// same combo universe makeTraffic draws from.
+func sessionCombos(keys int) []api.CreateSessionRequest {
+	apps := workload.All()
+	clusters := []string{"A", "B", "C"}
+	sizes := []float64{256, 512, 1024, 2048, 4096}
+	if keys < 1 {
+		keys = 1
+	}
+	out := make([]api.CreateSessionRequest, keys)
+	for i := range out {
+		out[i] = api.CreateSessionRequest{
+			App:     apps[i%len(apps)].Spec.Name,
+			SizeMB:  sizes[i%len(sizes)],
+			Cluster: clusters[i%len(clusters)],
+		}
+	}
+	return out
 }
 
 // isTimeout reports whether a remote request failed on its client-side

@@ -10,13 +10,18 @@
 //	liteserve -model lite-tuner.json         # serve a tuner saved by 'lite train'
 //	liteserve -addr 127.0.0.1:0 -snapshot s.json -wal-dir wal/   # crash-safe state
 //
-// Endpoints:
+// Endpoints (full reference: API.md):
 //
-//	POST /recommend  {"app":"PageRank","size_mb":4096,"cluster":"C"}
-//	POST /feedback   {"app":"PageRank","size_mb":4096,"cluster":"C","config":{...}}
-//	GET  /healthz    (JSON: generation, snapshot age, inflight, wal depth)
+//	POST /v1/recommend  {"app":"PageRank","size_mb":4096,"cluster":"C"}
+//	POST /v1/feedback   {"app":"PageRank","size_mb":4096,"cluster":"C","config":{...}}
+//	GET  /v1/healthz    (JSON: generation, snapshot age, inflight, wal depth)
+//	*    /v1/tuning/sessions[/{id}[/proposal|/result]]  (online tuning sessions)
 //	GET  /metrics
-//	POST /admin/flip (only with -admin / -follower: fleet hot-swap)
+//	POST /v1/admin/flip (only with -admin / -follower: fleet hot-swap)
+//
+// The unversioned spellings (/recommend, /feedback, /healthz, /admin/flip)
+// remain as deprecated shims: same behaviour, plus a Deprecation header
+// and the lite_http_legacy_requests_total counter.
 //
 // As a fleet shard (cmd/litefleet spawns these): -follower disables local
 // retraining so the model only moves via coordinated flips, and the
@@ -67,7 +72,9 @@ func main() {
 	workers := flag.Int("workers", 0, "candidate-scoring goroutines (0 = GOMAXPROCS, 1 = serial)")
 	fitWorkers := flag.Int("fit-workers", 0, "data-parallel training replicas for boot-train and adaptive updates (0 = serial)")
 	follower := flag.Bool("follower", false, "fleet follower mode: no local retraining, the model advances only via POST /admin/flip (implies -admin)")
-	admin := flag.Bool("admin", false, "expose POST /admin/flip (fleet-coordinated hot-swap)")
+	admin := flag.Bool("admin", false, "expose POST /v1/admin/flip (fleet-coordinated hot-swap)")
+	sessionDir := flag.String("session-dir", "", "tuning-session WAL+snapshot directory (default <wal-dir>/sessions when -wal-dir is set; empty without it = in-memory sessions)")
+	sessionBound := flag.Float64("session-bound", 0, "default session safety bound: a trial is a violation when it runs worse than bound x the measured baseline (0 = built-in 1.5)")
 	flag.Parse()
 
 	// Resize the scoring pool before boot-training so the first model's
@@ -98,12 +105,14 @@ func main() {
 			Enable: !*noValidation,
 			Cases:  *validationCases,
 		},
-		ChaosCorruptEveryN: *chaosCorruptEvery,
-		ChaosPanicEveryN:   *chaosPanicEvery,
-		Seed:               *seed,
-		FitWorkers:         *fitWorkers,
-		Follower:           *follower,
-		EnableAdmin:        *admin,
+		ChaosCorruptEveryN:  *chaosCorruptEvery,
+		ChaosPanicEveryN:    *chaosPanicEvery,
+		Seed:                *seed,
+		FitWorkers:          *fitWorkers,
+		Follower:            *follower,
+		EnableAdmin:         *admin,
+		SessionDir:          *sessionDir,
+		SessionDefaultBound: *sessionBound,
 	})
 	if err := s.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "liteserve:", err)

@@ -58,10 +58,24 @@ func NewCandidateGenerator(runs []instrument.AppInstance, rng *rand.Rand) *Candi
 	for i := range runs {
 		byApp[runs[i].AppName] = append(byApp[runs[i].AppName], i)
 	}
+	// Iterate apps in sorted order: the row order of the training matrix
+	// feeds the forest's bootstrap sampling, so map-order iteration here
+	// would make the fitted models (and every downstream recommendation)
+	// vary run-to-run despite the fixed seed.
+	appNames := make([]string, 0, len(byApp))
+	for name := range byApp {
+		appNames = append(appNames, name)
+	}
+	sort.Strings(appNames)
 	var good []int
-	for _, idxs := range byApp {
+	for _, name := range appNames {
+		idxs := byApp[name]
 		sort.Slice(idxs, func(a, b int) bool {
-			return runs[idxs[a]].Result.Seconds < runs[idxs[b]].Result.Seconds
+			sa, sb := runs[idxs[a]].Result.Seconds, runs[idxs[b]].Result.Seconds
+			if sa != sb {
+				return sa < sb
+			}
+			return idxs[a] < idxs[b] // stable under timing ties (failure sentinels)
 		})
 		cut := (len(idxs)*2 + 4) / 5 // 40%, at least 1
 		if cut < 1 {

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lite/internal/session"
+	"lite/internal/sparksim"
+)
+
+// SessionsResult quantifies online tuning sessions (internal/session)
+// against the static safe recommendation they start from: for each
+// (app, strategy) pair, the measured seconds of RecommendSafe's config,
+// the session's best measured seconds after its trial budget, and the
+// safety record — the worst trial relative to the measured baseline, and
+// how many trials violated the session's regression bound.
+//
+// The claims under test: a session beats the static recommendation on at
+// least one workload (online measurement finds wins the offline model
+// missed), and no trial on any workload ever exceeds the bound (screened
+// exploration is safe to run against production traffic).
+type SessionsResult struct {
+	Bound float64
+	Rows  []SessionRow
+}
+
+// SessionRow is one (app, strategy) session run.
+type SessionRow struct {
+	App        string
+	Strategy   string
+	StaticSec  float64 // measured seconds of the static safe recommendation
+	BestSec    float64 // session's best measured seconds
+	GainPct    float64 // (static - best) / static, in percent
+	Trials     int
+	WorstRatio float64 // worst trial (abort-capped) / measured baseline
+	Aborts     int     // trials killed at the bound × baseline guard-rail
+	Violations int     // trials whose reported time still exceeded the bound
+}
+
+// Sessions runs the study: three apps spanning the workload families, the
+// three exploration strategies each, simulator ground truth as the
+// "production" measurement a real session would report.
+func Sessions(s *Suite) *SessionsResult {
+	tuner := s.Tuner()
+	apps := faultApps(s)
+	env := sparksim.AllClusters[len(sparksim.AllClusters)-1] // cluster C, the constrained one
+	res := &SessionsResult{Bound: session.DefaultSafetyBound}
+
+	st, err := session.Open(session.Options{Seed: s.Opts.Seed}) // in-memory: no Dir
+	if err != nil {
+		panic(fmt.Sprintf("experiments: opening session store: %v", err))
+	}
+	defer st.Close()
+
+	for _, a := range apps {
+		size := a.Sizes.Test
+		data := a.Spec.MakeData(size)
+		sr, err := tuner.RecommendSafe(a.Spec, data, env)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: RecommendSafe(%s): %v", a.Spec.Name, err))
+		}
+		staticSec := sparksim.Simulate(a.Spec, data, env, sr.Config).Seconds
+		scorer := simScorer{sc: tuner.Model.NewAppScorer(a.Spec, data, env), env: env}
+
+		for _, strat := range []session.Strategy{session.Conservative, session.Moderate, session.Aggressive} {
+			sess, err := st.Create(a.Spec.Name, size, env.Name, strat, 0, 0, sr.Config, sr.PredictedSeconds)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: creating session: %v", err))
+			}
+			row := SessionRow{App: a.Spec.Name, Strategy: string(strat), StaticSec: staticSec}
+			baselineSec := 0.0
+			for {
+				prop, err := st.NextProposal(sess.ID, scorer)
+				if err != nil {
+					break // budget exhausted
+				}
+				run := sparksim.Simulate(a.Spec, data, env, prop.Config)
+				seconds, failed := run.Seconds, run.Failed
+				// The guard-rail every real client must honor: a trial is
+				// killed at bound × baseline, so its regression is capped
+				// there no matter how wrong the screening model was.
+				if prop.AbortAfterSeconds > 0 && seconds > prop.AbortAfterSeconds {
+					seconds, failed = prop.AbortAfterSeconds, true
+					row.Aborts++
+				}
+				if _, err := st.Report(sess.ID, prop.Trial, seconds, failed); err != nil {
+					panic(fmt.Sprintf("experiments: reporting trial: %v", err))
+				}
+				if prop.Source == session.SourceBaseline && !failed {
+					baselineSec = seconds
+				}
+				if prop.Source != session.SourceBaseline && baselineSec > 0 {
+					if r := seconds / baselineSec; r > row.WorstRatio {
+						row.WorstRatio = r
+					}
+				}
+			}
+			final, err := st.CloseSession(sess.ID)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: closing session: %v", err))
+			}
+			row.BestSec = final.BestSeconds
+			row.Trials = final.TrialsUsed
+			row.Violations = final.Violations
+			if staticSec > 0 && final.BestSeconds > 0 {
+				row.GainPct = 100 * (staticSec - final.BestSeconds) / staticSec
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// simScorer adapts a model AppScorer to the session subsystem's Scorer
+// over a fixed environment — the same adaptation internal/serve performs
+// with its live snapshot.
+type simScorer struct {
+	sc  interface{ Score(sparksim.Config) float64 }
+	env sparksim.Environment
+}
+
+func (s simScorer) Score(cfg sparksim.Config) float64 { return s.sc.Score(cfg) }
+func (s simScorer) Feasible(cfg sparksim.Config) bool { return sparksim.Feasible(cfg, s.env) }
+
+// Format renders the study with its two headline verdicts.
+func (r *SessionsResult) Format() string {
+	t := NewTable(
+		fmt.Sprintf("Online tuning sessions vs static RecommendSafe (cluster C, bound %.2fx)", r.Bound),
+		"app", "strategy", "static(s)", "session-best(s)", "gain", "trials", "worst/baseline", "aborts", "violations")
+	wins, violations := 0, 0
+	worst := 0.0
+	for _, row := range r.Rows {
+		if row.GainPct > 0 {
+			wins++
+		}
+		violations += row.Violations
+		if row.WorstRatio > worst {
+			worst = row.WorstRatio
+		}
+		t.AddRow(row.App, row.Strategy,
+			fmt.Sprintf("%.1f", row.StaticSec),
+			fmt.Sprintf("%.1f", row.BestSec),
+			fmt.Sprintf("%+.1f%%", row.GainPct),
+			fmt.Sprintf("%d", row.Trials),
+			fmt.Sprintf("%.2fx", row.WorstRatio),
+			fmt.Sprintf("%d", row.Aborts),
+			fmt.Sprintf("%d", row.Violations))
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nsessions beating static: %d/%d; worst trial %.2fx of baseline (bound %.2fx); bound violations: %d\n",
+		wins, len(r.Rows), worst, r.Bound, violations)
+	if wins > 0 && violations == 0 && worst <= r.Bound {
+		b.WriteString("VERDICT: sessions improve on the static recommendation and no trial ever exceeded the bound\n")
+	}
+	return b.String()
+}

@@ -96,7 +96,7 @@ func (rt *Router) flipShard(url string, gen uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	req, err := http.NewRequest(http.MethodPost, url+"/admin/flip", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/admin/flip", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}

@@ -64,7 +64,7 @@ func (rt *Router) probeAll() {
 func (rt *Router) probe(url string) (serve.HealthResponse, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/healthz", nil)
 	if err != nil {
 		return serve.HealthResponse{}, err
 	}

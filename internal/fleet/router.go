@@ -8,12 +8,14 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lite/internal/metrics"
 	"lite/internal/serve"
+	"lite/pkg/api"
 )
 
 // Options configures the fleet router. The zero value is usable: defaults
@@ -281,25 +283,64 @@ func (rt *Router) Stop() {
 	rt.wg.Wait()
 }
 
-// Handler returns the router's HTTP surface:
+// Handler returns the router's HTTP surface, mirroring the shard API
+// (API.md):
 //
-//	POST /recommend, /feedback — consistent-hash proxy onto the fleet
-//	GET  /healthz              — fleet + per-shard health JSON
-//	GET  /metrics              — router metrics (lite_fleet_*)
+//	POST   /v1/recommend, /v1/feedback      — consistent-hash proxy
+//	GET    /v1/healthz                      — fleet + per-shard health JSON
+//	POST   /v1/tuning/sessions              — placed by the body's key
+//	GET    /v1/tuning/sessions              — fan-out list, merged
+//	*      /v1/tuning/sessions/{id}[/...]   — placed by the key embedded
+//	                                          in the session ID
+//	GET    /metrics                         — router metrics (lite_fleet_*)
+//
+// plus the unversioned legacy routes as deprecation shims (Deprecation
+// header + lite_http_legacy_requests_total counter, same semantics).
+// Session results answered by a non-trainer shard have their Promotion
+// teed to the trainer: the trainer owns promotion fleet-wide.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) {
-		rt.proxy(w, r, "/recommend")
+	mux.HandleFunc("/v1/recommend", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyBody(w, r, "/v1/recommend")
 	})
-	mux.HandleFunc("/feedback", func(w http.ResponseWriter, r *http.Request) {
-		rt.proxy(w, r, "/feedback")
+	mux.HandleFunc("/v1/feedback", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyBody(w, r, "/v1/feedback")
 	})
-	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/v1/healthz", rt.handleHealthz)
+	mux.HandleFunc("/v1/tuning/sessions", rt.handleSessions)
+	mux.HandleFunc("/v1/tuning/sessions/{id}", rt.handleSessionItem)
+	mux.HandleFunc("/v1/tuning/sessions/{id}/proposal", rt.handleSessionProposal)
+	mux.HandleFunc("/v1/tuning/sessions/{id}/result", rt.handleSessionResult)
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeAPIError(w, http.StatusNotFound, api.CodeNotFound, "no such endpoint: "+r.URL.Path, 0)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		rt.reg.WriteText(w)
 	})
+
+	// Legacy deprecation shims.
+	mux.Handle("/recommend", rt.legacy("recommend", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyBody(w, r, "/v1/recommend")
+	})))
+	mux.Handle("/feedback", rt.legacy("feedback", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyBody(w, r, "/v1/feedback")
+	})))
+	mux.Handle("/healthz", rt.legacy("healthz", http.HandlerFunc(rt.handleHealthz)))
 	return mux
+}
+
+// legacy wraps a handler as an unversioned deprecation shim: identical
+// behaviour plus the Deprecation header and the per-endpoint legacy
+// counter the fleet smoke asserts stays 0 for new tooling.
+func (rt *Router) legacy(endpoint string, next http.Handler) http.Handler {
+	ctr := rt.reg.Counter(fmt.Sprintf("lite_http_legacy_requests_total{endpoint=%q}", endpoint))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctr.Inc()
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=\"successor-version\"", api.Version, r.URL.Path))
+		next.ServeHTTP(w, r)
+	})
 }
 
 // routingBody is the subset of a /recommend or /feedback body the router
@@ -325,36 +366,216 @@ func routingKey(body []byte) string {
 	return key
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
 }
 
-// proxy routes one request to its key's owner shard, walking ring
-// successors on transport failures — so a freshly dead shard's arc is
-// served by its successors even before the health checker ejects it.
-// Shard HTTP responses (including 4xx/5xx the shard chose to send) are
-// relayed as-is; only connection-level failures re-route.
-func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, endpoint string) {
+// writeAPIError emits the unified /v1 error envelope (API.md) for
+// router-origin failures; shard-origin errors are relayed verbatim and
+// already carry it.
+func writeAPIError(w http.ResponseWriter, status int, code, msg string, retryMS int64) {
+	if retryMS > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((retryMS+999)/1000, 10))
+	}
+	writeJSON(w, status, api.ErrorResponse{Error: api.Error{Code: code, Message: msg, RetryAfterMS: retryMS}})
+}
+
+// Tee modes for route: what to forward to the trainer shard after a
+// non-trainer shard answers 200.
+const (
+	teeNone = iota
+	// teeFeedback re-posts the request body (a FeedbackRequest) — the
+	// follower ack'd it locally but only the trainer learns from it.
+	teeFeedback
+	// teePromotion decodes the shard's ReportResultResponse and, when it
+	// carries a Promotion, posts that feedback body to the trainer: a
+	// session win discovered on a follower still reaches the model.
+	teePromotion
+)
+
+// readBody requires POST and reads the (bounded) request body with
+// envelope-shaped failures.
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST with a JSON body"})
-		return
+		w.Header().Set("Allow", http.MethodPost)
+		writeAPIError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"use POST with a JSON body", 0)
+		return nil, false
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "reading request body: " + err.Error()})
+		writeAPIError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+			"reading request body: "+err.Error(), 0)
+		return nil, false
+	}
+	return body, true
+}
+
+// proxyBody routes a POST whose JSON body carries the sharding fields
+// (/v1/recommend, /v1/feedback).
+func (rt *Router) proxyBody(w http.ResponseWriter, r *http.Request, endpoint string) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
 		return
 	}
-	key := routingKey(body)
+	tee := teeNone
+	if endpoint == "/v1/feedback" {
+		tee = teeFeedback
+	}
+	rt.route(w, r, endpoint, endpoint, routingKey(body), body, tee)
+}
+
+// handleSessions is the collection route: POST creates (placed by the
+// body's key, same hash as /v1/recommend), GET lists fleet-wide.
+func (rt *Router) handleSessions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		body, ok := rt.readBody(w, r)
+		if !ok {
+			return
+		}
+		// The session's shard placement is derived from (app, size_mb,
+		// cluster); a single server would default a missing size_mb to the
+		// app's test size, but the router cannot know that default, and the
+		// ID-derived key of every later call would then hash to a different
+		// shard than the create did. Require the size explicitly.
+		var rb routingBody
+		if err := json.Unmarshal(body, &rb); err == nil && rb.SizeMB <= 0 {
+			writeAPIError(w, http.StatusBadRequest, api.CodeInvalidArgument,
+				"size_mb must be set when creating a session through a fleet router (shard placement is derived from it)", 0)
+			return
+		}
+		rt.route(w, r, "/v1/tuning/sessions", "/v1/tuning/sessions", routingKey(body), body, teeNone)
+	case http.MethodGet:
+		rt.listSessions(w, r)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeAPIError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"method "+r.Method+" not allowed", 0)
+	}
+}
+
+// sessionKey places a session sub-resource request: the (app, datasize,
+// cluster) triple is embedded in the ID, so the owning shard is computed
+// locally with no lookup.
+func (rt *Router) sessionKey(w http.ResponseWriter, r *http.Request) (string, bool) {
+	key, err := serve.SessionRoutingKey(r.PathValue("id"))
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, api.CodeInvalidArgument, err.Error(), 0)
+		return "", false
+	}
+	return key, true
+}
+
+// handleSessionItem proxies GET (read) and DELETE (close) for one session.
+func (rt *Router) handleSessionItem(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodDelete {
+		w.Header().Set("Allow", "GET, DELETE")
+		writeAPIError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"method "+r.Method+" not allowed", 0)
+		return
+	}
+	key, ok := rt.sessionKey(w, r)
+	if !ok {
+		return
+	}
+	rt.route(w, r, r.URL.Path, "/v1/tuning/sessions/{id}", key, nil, teeNone)
+}
+
+// handleSessionProposal proxies the next-proposal action.
+func (rt *Router) handleSessionProposal(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeAPIError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"use POST", 0)
+		return
+	}
+	key, ok := rt.sessionKey(w, r)
+	if !ok {
+		return
+	}
+	rt.route(w, r, r.URL.Path, "/v1/tuning/sessions/{id}/proposal", key, nil, teeNone)
+}
+
+// handleSessionResult proxies a trial result report. When a follower
+// answers with a promotion, the router tees that feedback to the trainer
+// (teePromotion): promotion is fleet-wide, not per-shard.
+func (rt *Router) handleSessionResult(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	key, ok := rt.sessionKey(w, r)
+	if !ok {
+		return
+	}
+	rt.route(w, r, r.URL.Path, "/v1/tuning/sessions/{id}/result", key, body, teePromotion)
+}
+
+// listSessions fans a GET out to every live shard and merges the results:
+// each shard only knows the sessions its arc owns. Answers 200 with the
+// merged list when at least one shard responded, 503 otherwise.
+func (rt *Router) listSessions(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	type target struct{ id, url string }
+	var targets []target
+	for _, sh := range rt.shards {
+		if sh.up {
+			targets = append(targets, target{sh.id, sh.url})
+		}
+	}
+	rt.mu.Unlock()
+	merged := []api.Session{}
+	answered := 0
+	for _, t := range targets {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, t.url+"/v1/tuning/sessions", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			rt.reportTransportError(t.id, err)
+			continue
+		}
+		var list api.SessionListResponse
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&list)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			continue
+		}
+		answered++
+		merged = append(merged, list.Sessions...)
+	}
+	if answered == 0 && len(targets) > 0 {
+		writeAPIError(w, http.StatusServiceUnavailable, api.CodeUnavailable,
+			"fleet: no shard answered the session list", 1000)
+		return
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		// CreatedAt is RFC3339, so lexical order is chronological order.
+		if merged[i].CreatedAt != merged[j].CreatedAt {
+			return merged[i].CreatedAt < merged[j].CreatedAt
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	writeJSON(w, http.StatusOK, api.SessionListResponse{Sessions: merged})
+}
+
+// route sends one request to its key's owner shard, walking ring
+// successors on transport failures — so a freshly dead shard's arc is
+// served by its successors even before the health checker ejects it.
+// Shard HTTP responses (including 4xx/5xx the shard chose to send) are
+// relayed as-is; only connection-level failures re-route. label is the
+// bounded metric name for the path (session paths would otherwise explode
+// cardinality with the ID).
+func (rt *Router) route(w http.ResponseWriter, r *http.Request, shardPath, label, key string, body []byte, tee int) {
 	order := rt.ring.Successors(key, rt.opts.MaxAttempts)
 	if len(order) == 0 {
 		rt.reg.Counter("lite_fleet_no_shard_total").Inc()
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "fleet: no live shards"})
+		writeAPIError(w, http.StatusServiceUnavailable, api.CodeUnavailable, "fleet: no live shards", 1000)
 		return
 	}
 	var lastErr error
@@ -363,11 +584,12 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, endpoint string)
 		if url == "" {
 			continue
 		}
-		resp, err := rt.forward(r, url, endpoint, body)
+		resp, err := rt.forward(r, url, shardPath, label, body)
 		if err != nil {
 			if r.Context().Err() != nil {
 				// The client's budget ran out mid-walk; no shard is at fault.
-				writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: r.Context().Err().Error()})
+				writeAPIError(w, http.StatusGatewayTimeout, api.CodeDeadlineExceeded,
+					r.Context().Err().Error(), 0)
 				return
 			}
 			rt.reportTransportError(id, err)
@@ -378,15 +600,44 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, endpoint string)
 		if i > 0 {
 			rt.reg.Counter("lite_fleet_rerouted_total").Inc()
 		}
-		if endpoint == "/feedback" && rt.opts.TrainerID != "" && id != rt.opts.TrainerID &&
-			resp.StatusCode == http.StatusOK {
-			rt.tee(body)
+		fromFollower := rt.opts.TrainerID != "" && id != rt.opts.TrainerID
+		if tee == teeFeedback && fromFollower && resp.StatusCode == http.StatusOK {
+			rt.tee(body, "lite_fleet_feedback_teed_total")
+		}
+		if tee == teePromotion && fromFollower && resp.StatusCode == http.StatusOK {
+			rt.relayWithPromotionTee(w, resp, id)
+			return
 		}
 		rt.relay(w, resp, id)
 		return
 	}
-	writeJSON(w, http.StatusServiceUnavailable,
-		errorResponse{Error: fmt.Sprintf("fleet: no reachable shard for key (last error: %v)", lastErr)})
+	writeAPIError(w, http.StatusServiceUnavailable, api.CodeUnavailable,
+		fmt.Sprintf("fleet: no reachable shard for key (last error: %v)", lastErr), 1000)
+}
+
+// relayWithPromotionTee buffers a follower's session-result response,
+// tees any Promotion it carries to the trainer as feedback, then relays
+// the buffered body unchanged.
+func (rt *Router) relayWithPromotionTee(w http.ResponseWriter, resp *http.Response, id string) {
+	buf, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if readErr == nil {
+		var rr api.ReportResultResponse
+		if json.Unmarshal(buf, &rr) == nil && rr.Promotion != nil {
+			if pb, err := json.Marshal(rr.Promotion); err == nil {
+				rt.tee(pb, "lite_fleet_session_promotions_teed_total")
+			}
+		}
+	}
+	rt.reg.Counter(fmt.Sprintf("lite_fleet_requests_total{shard=%q,code=\"%d\"}", id, resp.StatusCode)).Inc()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("X-Lite-Shard", id)
+	w.WriteHeader(resp.StatusCode)
+	if _, err := w.Write(buf); err != nil {
+		rt.reg.Counter("lite_fleet_relay_errors_total").Inc()
+	}
 }
 
 // shardURL resolves a member id to its base URL ("" if it vanished).
@@ -399,17 +650,24 @@ func (rt *Router) shardURL(id string) string {
 	return ""
 }
 
-// forward posts body to one shard under the client's context and observes
-// the per-shard proxy latency histogram.
-func (rt *Router) forward(r *http.Request, url, endpoint string, body []byte) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url+endpoint, bytes.NewReader(body))
+// forward sends one request (the client's method, an optional JSON body)
+// to one shard under the client's context and observes the proxy latency
+// histogram under the bounded label.
+func (rt *Router) forward(r *http.Request, url, shardPath, label string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url+shardPath, rd)
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	start := rt.opts.Now()
 	resp, err := rt.client.Do(req)
-	rt.reg.Histogram(fmt.Sprintf("lite_fleet_proxy_seconds{endpoint=%q}", endpoint), nil).
+	rt.reg.Histogram(fmt.Sprintf("lite_fleet_proxy_seconds{endpoint=%q}", label), nil).
 		Observe(rt.opts.Now().Sub(start).Seconds())
 	return resp, err
 }
@@ -432,13 +690,14 @@ func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, id string) {
 	}
 }
 
-// tee enqueues a feedback body for async delivery to the trainer shard.
-// Feedback is a training signal, not a synchronous dependency: a full tee
-// queue drops (counted) rather than slowing the serving path.
-func (rt *Router) tee(body []byte) {
+// tee enqueues a feedback body for async delivery to the trainer shard,
+// incrementing counter on success. Feedback is a training signal, not a
+// synchronous dependency: a full tee queue drops (counted) rather than
+// slowing the serving path.
+func (rt *Router) tee(body []byte, counter string) {
 	select {
 	case rt.teeCh <- body:
-		rt.reg.Counter("lite_fleet_feedback_teed_total").Inc()
+		rt.reg.Counter(counter).Inc()
 	default:
 		rt.reg.Counter("lite_fleet_feedback_tee_dropped_total").Inc()
 	}
@@ -456,7 +715,7 @@ func (rt *Router) teeLoop() {
 			if url == "" {
 				continue
 			}
-			req, err := http.NewRequest(http.MethodPost, url+"/feedback", bytes.NewReader(body))
+			req, err := http.NewRequest(http.MethodPost, url+"/v1/feedback", bytes.NewReader(body))
 			if err != nil {
 				continue
 			}

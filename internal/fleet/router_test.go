@@ -12,47 +12,81 @@ import (
 	"time"
 
 	"lite/internal/serve"
+	"lite/internal/session"
+	"lite/pkg/api"
 )
 
 // fakeShard is an in-process stand-in for a liteserve shard: it serves the
 // JSON /healthz contract, echoes /recommend and /feedback, and applies
 // /admin/flip by adopting the requested generation.
 type fakeShard struct {
-	id       string
-	srv      *httptest.Server
-	gen      atomic.Uint64
-	healthy  atomic.Bool
-	recs     atomic.Int64
-	feeds    atomic.Int64
-	lastFlip atomic.Value // serve.FlipRequest
+	id         string
+	createdAt  string // RFC3339 stamp its fake session list advertises
+	srv        *httptest.Server
+	gen        atomic.Uint64
+	healthy    atomic.Bool
+	recs       atomic.Int64
+	feeds      atomic.Int64
+	sessionOps atomic.Int64
+	lastFlip   atomic.Value // serve.FlipRequest
 }
 
 func newFakeShard(t *testing.T, id string) *fakeShard {
 	t.Helper()
-	f := &fakeShard{id: id}
+	f := &fakeShard{id: id, createdAt: fmt.Sprintf("2026-01-01T00:00:0%cZ", id[len(id)-1])}
 	f.healthy.Store(true)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !f.healthy.Load() {
 			http.Error(w, "sick", http.StatusInternalServerError)
 			return
 		}
 		json.NewEncoder(w).Encode(serve.HealthResponse{Status: "ok", Generation: f.gen.Load(), Follower: id != "shard0"})
 	})
-	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/recommend", func(w http.ResponseWriter, r *http.Request) {
 		f.recs.Add(1)
 		json.NewEncoder(w).Encode(map[string]any{"served_by": f.id, "generation": f.gen.Load()})
 	})
-	mux.HandleFunc("/feedback", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/feedback", func(w http.ResponseWriter, r *http.Request) {
 		f.feeds.Add(1)
 		json.NewEncoder(w).Encode(map[string]any{"queued": true})
 	})
-	mux.HandleFunc("/admin/flip", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/admin/flip", func(w http.ResponseWriter, r *http.Request) {
 		var req serve.FlipRequest
 		json.NewDecoder(r.Body).Decode(&req)
 		f.lastFlip.Store(req)
 		f.gen.Store(req.Generation)
 		json.NewEncoder(w).Encode(serve.FlipResponse{Generation: req.Generation})
+	})
+	// Session endpoints: enough of the /v1/tuning/sessions contract for the
+	// router's placement, fan-out list and promotion-tee paths.
+	mux.HandleFunc("POST /v1/tuning/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req api.CreateSessionRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		json.NewEncoder(w).Encode(api.Session{
+			ID:  session.FormatID(req.App, req.SizeMB, req.Cluster, 0xabc),
+			App: req.App, SizeMB: req.SizeMB, Cluster: req.Cluster, State: "active",
+		})
+	})
+	mux.HandleFunc("GET /v1/tuning/sessions", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.SessionListResponse{Sessions: []api.Session{
+			{ID: f.id + "-sess", CreatedAt: f.createdAt},
+		}})
+	})
+	mux.HandleFunc("/v1/tuning/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.sessionOps.Add(1)
+		json.NewEncoder(w).Encode(api.Session{ID: r.PathValue("id"), State: "active"})
+	})
+	mux.HandleFunc("POST /v1/tuning/sessions/{id}/proposal", func(w http.ResponseWriter, r *http.Request) {
+		f.sessionOps.Add(1)
+		json.NewEncoder(w).Encode(api.ProposalResponse{SessionID: r.PathValue("id"), Trial: 1})
+	})
+	mux.HandleFunc("POST /v1/tuning/sessions/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		f.sessionOps.Add(1)
+		json.NewEncoder(w).Encode(api.ReportResultResponse{
+			SessionID: r.PathValue("id"), Trial: 1, Improved: true, Promoted: true,
+			Promotion: &api.FeedbackRequest{App: "WordCount", SizeMB: 512, Cluster: "C"},
+		})
 	})
 	f.srv = httptest.NewServer(mux)
 	t.Cleanup(f.srv.Close)
@@ -363,5 +397,118 @@ func TestFeedbackTee(t *testing.T) {
 	}
 	if got := rt.Metrics().Counter("lite_fleet_feedback_teed_total").Value(); got < 5 {
 		t.Fatalf("teed counter = %d, want >= 5", got)
+	}
+}
+
+// TestSessionRoutingAndPromotionTee: session sub-resource requests are
+// placed by the routing key embedded in the session ID — always on the
+// shard that created the session — and a promotion in a follower's result
+// response is teed to the trainer's feedback endpoint. The fleet-wide GET
+// merges every shard's list in CreatedAt order.
+func TestSessionRoutingAndPromotionTee(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t, "shard0"), newFakeShard(t, "shard1"), newFakeShard(t, "shard2")}
+	rt := NewRouter(Options{
+		ProbeInterval: 10 * time.Millisecond,
+		TrainerID:     "shard0",
+	})
+	for _, f := range shards {
+		rt.AddShard(f.id, f.srv.URL)
+	}
+	rt.Start()
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// Create sessions until one lands on a follower (the interesting case:
+	// its promotions need the tee to reach the trainer).
+	var sessID, owner string
+	for _, b := range testBodies() {
+		resp := post(t, front.URL+"/v1/tuning/sessions", b)
+		var sess api.Session
+		json.NewDecoder(resp.Body).Decode(&sess)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("create status %d", resp.StatusCode)
+		}
+		if sh := resp.Header.Get("X-Lite-Shard"); sh != "shard0" {
+			sessID, owner = sess.ID, sh
+			break
+		}
+	}
+	if sessID == "" {
+		t.Fatal("no session key hashed off the trainer")
+	}
+
+	// Every sub-resource call on that ID must land on the owning shard —
+	// the router derives the key from the ID alone, no lookup table.
+	for _, sub := range []string{"", "/proposal", "/result"} {
+		var resp *http.Response
+		if sub == "" {
+			var err error
+			resp, err = http.Get(front.URL + "/v1/tuning/sessions/" + sessID)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			resp = post(t, front.URL+"/v1/tuning/sessions/"+sessID+sub, []byte(`{"trial":1,"seconds":10}`))
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%q status %d", sub, resp.StatusCode)
+		}
+		if sh := resp.Header.Get("X-Lite-Shard"); sh != owner {
+			t.Fatalf("sub-resource %q routed to %s, owner is %s", sub, sh, owner)
+		}
+	}
+
+	// A malformed ID cannot be routed and must fail with the envelope, not
+	// land on an arbitrary shard.
+	resp := post(t, front.URL+"/v1/tuning/sessions/garbage/proposal", nil)
+	var env api.ErrorResponse
+	json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || env.Error.Code != api.CodeInvalidArgument {
+		t.Fatalf("malformed id = (%d, %q), want (400, invalid_argument)", resp.StatusCode, env.Error.Code)
+	}
+
+	// A create without size_mb is rejected: the router would place it by a
+	// key the session's ID cannot reproduce.
+	resp = post(t, front.URL+"/v1/tuning/sessions", []byte(`{"app":"WordCount","cluster":"C"}`))
+	env = api.ErrorResponse{}
+	json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || env.Error.Code != api.CodeInvalidArgument {
+		t.Fatalf("sizeless create = (%d, %q), want (400, invalid_argument)", resp.StatusCode, env.Error.Code)
+	}
+
+	// The follower's result carried a Promotion; the router tees it to the
+	// trainer's /v1/feedback asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for shards[0].feeds.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("promotion never teed to the trainer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := rt.Metrics().Counter("lite_fleet_session_promotions_teed_total").Value(); got < 1 {
+		t.Fatalf("promotion tee counter = %d, want >= 1", got)
+	}
+
+	// Fleet-wide list: one merged answer with every shard's sessions in
+	// CreatedAt order.
+	lresp, err := http.Get(front.URL + "/v1/tuning/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list api.SessionListResponse
+	json.NewDecoder(lresp.Body).Decode(&list)
+	lresp.Body.Close()
+	if len(list.Sessions) != len(shards) {
+		t.Fatalf("merged list has %d sessions, want %d (one per shard)", len(list.Sessions), len(shards))
+	}
+	for i := 1; i < len(list.Sessions); i++ {
+		if list.Sessions[i-1].CreatedAt > list.Sessions[i].CreatedAt {
+			t.Fatalf("merged list out of CreatedAt order: %+v", list.Sessions)
+		}
 	}
 }

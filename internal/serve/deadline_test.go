@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"lite/pkg/api"
 )
 
 // TestEndToEndShedAndCancel exercises the full admission-control story on a
@@ -56,8 +58,8 @@ func TestEndToEndShedAndCancel(t *testing.T) {
 	if res.Header.Get("Retry-After") == "" {
 		t.Fatal("503 response missing Retry-After header")
 	}
-	var e errorResponse
-	if err := json.NewDecoder(res.Body).Decode(&e); err != nil || e.Error == "" {
+	var e api.ErrorResponse
+	if err := json.NewDecoder(res.Body).Decode(&e); err != nil || e.Error.Code != api.CodeOverloaded {
 		t.Fatalf("shed response body: %+v err=%v", e, err)
 	}
 	if c := s.reg.Counter("lite_requests_shed_total").Value(); c != 1 {

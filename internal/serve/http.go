@@ -7,31 +7,80 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"time"
+
+	"lite/internal/session"
+	"lite/pkg/api"
 )
 
-// Handler returns the server's HTTP API:
+// Handler returns the server's HTTP API, version 1 (documented in API.md):
 //
-//	POST /recommend  {"app":"PageRank","size_mb":4096,"cluster":"C"}
-//	POST /feedback   {"app":"PageRank","size_mb":4096,"cluster":"C","config":{...}}
-//	GET  /healthz
-//	GET  /metrics
+//	POST   /v1/recommend
+//	POST   /v1/feedback
+//	GET    /v1/healthz
+//	POST   /v1/tuning/sessions
+//	GET    /v1/tuning/sessions
+//	GET    /v1/tuning/sessions/{id}
+//	DELETE /v1/tuning/sessions/{id}
+//	POST   /v1/tuning/sessions/{id}/proposal
+//	POST   /v1/tuning/sessions/{id}/result
+//	POST   /v1/admin/flip            (when Options.EnableAdmin)
+//	GET    /metrics                  (unversioned: Prometheus scrape path)
 //
-// Every endpoint is instrumented with request counters (by status code)
-// and latency histograms. /recommend and /feedback run under the caller's
-// request context plus Options.RequestTimeout (when set); see writeError
-// for how deadline, cancellation and overload map to status codes.
+// Every /v1 endpoint is instrumented with request counters (by status
+// code) and latency histograms, and every failure — including 404s for
+// unknown /v1 paths and 405s for wrong methods — returns the unified
+// error envelope {"error": {"code", "message", "retry_after_ms?"}}.
+//
+// The original unversioned routes (/recommend, /feedback, /healthz,
+// /admin/flip) remain as thin deprecation shims: same handlers, plus a
+// `Deprecation` header, a successor-version Link, and a
+// lite_http_legacy_requests_total counter. New tooling must keep that
+// counter at zero.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/recommend", s.instrument("recommend", http.HandlerFunc(s.handleRecommend)))
-	mux.Handle("/feedback", s.instrument("feedback", http.HandlerFunc(s.handleFeedback)))
-	mux.Handle("/healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/v1/recommend", s.instrument("recommend", http.HandlerFunc(s.handleRecommend)))
+	mux.Handle("/v1/feedback", s.instrument("feedback", http.HandlerFunc(s.handleFeedback)))
+	mux.Handle("/v1/healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("/v1/tuning/sessions", s.instrument("sessions", http.HandlerFunc(s.handleSessions)))
+	mux.Handle("/v1/tuning/sessions/{id}", s.instrument("session", http.HandlerFunc(s.handleSessionByID)))
+	mux.Handle("/v1/tuning/sessions/{id}/proposal", s.instrument("session_proposal", http.HandlerFunc(s.handleSessionProposal)))
+	mux.Handle("/v1/tuning/sessions/{id}/result", s.instrument("session_result", http.HandlerFunc(s.handleSessionResult)))
 	if s.opts.EnableAdmin {
-		mux.Handle("/admin/flip", s.instrument("admin_flip", http.HandlerFunc(s.handleFlip)))
+		mux.Handle("/v1/admin/flip", s.instrument("admin_flip", http.HandlerFunc(s.handleFlip)))
+	}
+	// Unknown /v1 paths answer with the envelope, not the mux's plain-text
+	// 404 — /v1 clients should never have to parse two error shapes.
+	mux.Handle("/v1/", s.instrument("v1_unknown", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.writeAPIError(w, http.StatusNotFound, api.CodeNotFound, "no such endpoint: "+r.URL.Path, 0)
+	})))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+
+	// Legacy deprecation shims.
+	mux.Handle("/recommend", s.legacy("recommend", http.HandlerFunc(s.handleRecommend)))
+	mux.Handle("/feedback", s.legacy("feedback", http.HandlerFunc(s.handleFeedback)))
+	mux.Handle("/healthz", s.legacy("healthz", http.HandlerFunc(s.handleHealthz)))
+	if s.opts.EnableAdmin {
+		mux.Handle("/admin/flip", s.legacy("admin_flip", http.HandlerFunc(s.handleFlip)))
 	}
 	return mux
+}
+
+// legacy wraps a /v1 handler as an unversioned deprecation shim: identical
+// behaviour (the handler is literally the same), plus the deprecation
+// signals. The per-endpoint counter is the fleet-wide "who still calls the
+// old paths" signal; smoke tooling asserts it stays 0 for new clients.
+func (s *Server) legacy(endpoint string, next http.Handler) http.Handler {
+	inst := s.instrument(endpoint, next)
+	ctr := s.reg.Counter(fmt.Sprintf("lite_http_legacy_requests_total{endpoint=%q}", endpoint))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctr.Inc()
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=\"successor-version\"", api.Version, r.URL.Path))
+		inst.ServeHTTP(w, r)
+	})
 }
 
 // StatusClientClosedRequest is the (nginx-convention) status recorded when
@@ -88,44 +137,83 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// writeAPIError writes the unified /v1 error envelope. A non-zero retryMS
+// also sets the Retry-After header (whole seconds, rounded up), so plain
+// HTTP clients and envelope-aware ones read the same hint.
+func (s *Server) writeAPIError(w http.ResponseWriter, status int, code, message string, retryMS int64) {
+	if retryMS > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((retryMS+999)/1000, 10))
+	}
+	s.writeJSON(w, status, api.ErrorResponse{Error: api.Error{Code: code, Message: message, RetryAfterMS: retryMS}})
 }
 
-// writeError maps errors to status codes: client errors (unknown
-// app/cluster/knob) are 400, a full feedback queue is 429, a shed request
-// is 503 with a Retry-After hint, a blown deadline is 504, a client that
-// went away is 499, everything else is 500.
+// writeError maps pipeline errors to (status, api code): client errors
+// (unknown app/cluster/knob, bad session arguments) are 400
+// invalid_argument, session lookups 404 not_found, session-state conflicts
+// 409 with a disambiguating code, a full feedback queue 429 queue_full, a
+// shed request 503 overloaded with a retry hint, a blown deadline 504, a
+// client that went away 499, everything else 500 internal.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var reqErr *RequestError
 	switch {
-	case errors.As(err, &reqErr):
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	case errors.As(err, &reqErr), session.IsInvalid(err):
+		s.writeAPIError(w, http.StatusBadRequest, api.CodeInvalidArgument, err.Error(), 0)
+	case errors.Is(err, session.ErrNotFound):
+		s.writeAPIError(w, http.StatusNotFound, api.CodeNotFound, err.Error(), 0)
+	case errors.Is(err, session.ErrClosed):
+		s.writeAPIError(w, http.StatusConflict, api.CodeSessionClosed, err.Error(), 0)
+	case errors.Is(err, session.ErrBudgetExhausted):
+		s.writeAPIError(w, http.StatusConflict, api.CodeBudgetExhausted, err.Error(), 0)
+	case errors.Is(err, session.ErrTrialAlreadyReported):
+		s.writeAPIError(w, http.StatusConflict, api.CodeTrialAlreadyReported, err.Error(), 0)
+	case errors.Is(err, session.ErrUnknownTrial):
+		s.writeAPIError(w, http.StatusBadRequest, api.CodeUnknownTrial, err.Error(), 0)
 	case errors.Is(err, ErrQueueFull):
-		s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		s.writeAPIError(w, http.StatusTooManyRequests, api.CodeQueueFull, err.Error(), 1000)
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
-		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		s.writeAPIError(w, http.StatusServiceUnavailable, api.CodeOverloaded, err.Error(), 1000)
 	case errors.Is(err, context.DeadlineExceeded):
-		s.writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+		s.writeAPIError(w, http.StatusGatewayTimeout, api.CodeDeadlineExceeded, err.Error(), 0)
 	case errors.Is(err, context.Canceled):
 		// The client is gone; nobody reads this body, but the recorded
 		// status keeps cancellations visible in the endpoint metrics.
-		s.writeJSON(w, StatusClientClosedRequest, errorResponse{Error: err.Error()})
+		s.writeAPIError(w, StatusClientClosedRequest, api.CodeClientClosedRequest, err.Error(), 0)
 	default:
-		s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		s.writeAPIError(w, http.StatusInternalServerError, api.CodeInternal, err.Error(), 0)
 	}
 }
 
+// requireMethod enforces the route's method with an envelope 405 (the
+// ServeMux's built-in 405 writes plain text, which /v1 clients must never
+// see).
+func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	allow := ""
+	for i, m := range methods {
+		if i > 0 {
+			allow += ", "
+		}
+		allow += m
+	}
+	w.Header().Set("Allow", allow)
+	s.writeAPIError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+		fmt.Sprintf("method %s not allowed (use %s)", r.Method, allow), 0)
+	return false
+}
+
+// decodeBody enforces POST and decodes a bounded, strict JSON body into v.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	if r.Method != http.MethodPost {
-		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST with a JSON body"})
+	if !s.requireMethod(w, r, http.MethodPost) {
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		s.writeAPIError(w, http.StatusBadRequest, api.CodeInvalidArgument, "bad request body: "+err.Error(), 0)
 		return false
 	}
 	return true
@@ -171,32 +259,14 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// HealthResponse is the JSON body of GET /healthz: always 200 with
-// status "ok" while the process serves (existing probes key on the status
-// code alone), plus the signals a fleet health checker and flip
-// coordinator act on — which model generation is live, how stale the
-// durable snapshot is, how loaded the pipeline is, and how much accepted
-// feedback has not yet been folded into a durable model.
-type HealthResponse struct {
-	Status     string `json:"status"`
-	Generation uint64 `json:"generation"`
-	Feedbacks  int    `json:"feedbacks"`
-	SnapshotAt string `json:"snapshot_at"`
-	// SnapshotAgeSeconds is the age of the last successfully persisted
-	// snapshot; −1 when persistence is off or nothing has persisted yet.
-	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
-	// Inflight is the number of requests currently inside the pipeline
-	// (0 when admission control is disabled).
-	Inflight int `json:"inflight"`
-	// WALUnfolded is the depth of accepted-but-not-yet-folded feedback in
-	// the write-ahead log (0 when the WAL is off).
-	WALUnfolded uint64 `json:"wal_unfolded"`
-	// Follower reports fleet-follower mode: no local retraining, model
-	// advances via /admin/flip.
-	Follower bool `json:"follower"`
-}
+// HealthResponse is the JSON body of GET /v1/healthz (see
+// api.HealthResponse; aliased so existing callers keep their name).
+type HealthResponse = api.HealthResponse
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet, http.MethodHead) {
+		return
+	}
 	snap := s.snap.Load()
 	resp := HealthResponse{
 		Status:             "ok",
@@ -215,22 +285,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			resp.WALUnfolded = st.LastSeq - st.Folded
 		}
 	}
+	if st := s.sessionStore(); st != nil {
+		resp.Sessions = st.Active()
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// FlipRequest asks a shard to hot-swap to an already-published snapshot
-// file (POST /admin/flip) as the given generation — the flip half of the
-// fleet's publish-then-flip protocol.
-type FlipRequest struct {
-	SnapshotPath string `json:"snapshot_path"`
-	Generation   uint64 `json:"generation"`
-}
-
-// FlipResponse reports the shard's live generation after the flip (which
-// may exceed the requested one if a newer flip already landed).
-type FlipResponse struct {
-	Generation uint64 `json:"generation"`
-}
+// FlipRequest / FlipResponse are the /v1/admin/flip wire types (see
+// pkg/api).
+type (
+	FlipRequest  = api.FlipRequest
+	FlipResponse = api.FlipResponse
+)
 
 func (s *Server) handleFlip(w http.ResponseWriter, r *http.Request) {
 	var req FlipRequest
@@ -238,7 +304,7 @@ func (s *Server) handleFlip(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.SnapshotPath == "" || req.Generation == 0 {
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "snapshot_path and generation are required"})
+		s.writeAPIError(w, http.StatusBadRequest, api.CodeInvalidArgument, "snapshot_path and generation are required", 0)
 		return
 	}
 	gen, err := s.FlipTo(req.SnapshotPath, req.Generation)

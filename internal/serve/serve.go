@@ -40,6 +40,7 @@ import (
 	"lite/internal/sparksim"
 	"lite/internal/wal"
 	"lite/internal/workload"
+	"lite/pkg/api"
 )
 
 // Options configures the server. The zero value enables the cache and the
@@ -145,6 +146,17 @@ type Options struct {
 	// <SnapshotPath>.quarantine.jsonl, else quarantine is disabled.
 	QuarantinePath string
 
+	// SessionDir persists tuning sessions (/v1/tuning/sessions) through
+	// their own WAL + snapshot in that directory, so open sessions survive
+	// a crash-restart. Default: <WALDir>/sessions when WALDir is set, else
+	// sessions are in-memory only. SessionSnapshotEvery folds the session
+	// WAL into its snapshot after that many mutation events (default 64);
+	// SessionDefaultBound is the safety bound applied when a create
+	// request does not set one (default 1.5).
+	SessionDir           string
+	SessionSnapshotEvery int
+	SessionDefaultBound  float64
+
 	// Follower runs the server as a fleet follower (DESIGN.md §10): the
 	// adaptive-update loop is not started, accepted feedback is WAL-logged
 	// (when WALDir is set) and acknowledged but never enqueued for local
@@ -240,8 +252,8 @@ type Server struct {
 	// generation); readers never take it — they load the atomic pointer.
 	publishMu sync.Mutex
 	cache     *ttlCache
-	batch *batcher
-	reg   *metrics.Registry
+	batch     *batcher
+	reg       *metrics.Registry
 	// inflight is the admission-control semaphore (nil when
 	// Options.MaxInFlight is 0): a slot is held for a request's whole stay
 	// in the pipeline, and a request that cannot get one immediately is
@@ -271,6 +283,9 @@ type Server struct {
 	backoffUntil     time.Time
 	lastPersistNanos atomic.Int64
 	walErrOnce       sync.Once
+
+	// sessions is the tuning-session store (sessions.go), set by Start.
+	sessions sessionsPtr
 }
 
 type feedbackItem struct {
@@ -392,6 +407,10 @@ func (s *Server) Start() error {
 		// a crash always has a loadable snapshot to restart from.
 		s.persistSnapshot(s.snap.Load().Tuner)
 	}
+	if err := s.openSessions(); err != nil {
+		s.started.Store(false)
+		return fmt.Errorf("serve: opening session store: %w", err)
+	}
 	s.batch.start()
 	if s.opts.Follower {
 		// A follower never retrains: its model advances only through FlipTo.
@@ -472,6 +491,11 @@ func (s *Server) Shutdown(done <-chan struct{}) error {
 	go func() { s.wg.Wait(); close(finished) }()
 	select {
 	case <-finished:
+		if st := s.sessions.Swap(nil); st != nil {
+			if err := st.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: closing session store: %v\n", err)
+			}
+		}
 		if s.wal != nil {
 			return s.wal.Close()
 		}
@@ -484,43 +508,14 @@ func (s *Server) Shutdown(done <-chan struct{}) error {
 	}
 }
 
-// RecommendRequest is one /recommend call.
-type RecommendRequest struct {
-	App    string  `json:"app"`
-	SizeMB float64 `json:"size_mb"`
-	// Cluster names one of the simulated environments (A, B or C).
-	Cluster string `json:"cluster"`
-}
+// RecommendRequest is one /v1/recommend call. The wire shape lives in
+// pkg/api (the single definition clients share); the alias keeps the
+// serving layer's historical names working.
+type RecommendRequest = api.RecommendRequest
 
-// RecommendResponse is the JSON answer to /recommend.
-type RecommendResponse struct {
-	App string `json:"app"`
-	// SizeMB echoes the caller's requested datasize. Config and
-	// PredictedSeconds are bucket-granular: they are computed at the size
-	// bucket's canonical size (its power-of-two upper bound), so every
-	// request sharing a cache/batch key receives one consistent answer.
-	SizeMB  float64 `json:"size_mb"`
-	Cluster string  `json:"cluster"`
-	// Config maps knob name → recommended value.
-	Config map[string]float64 `json:"config"`
-	// PredictedSeconds is NECS's estimate; absent on degraded tiers.
-	PredictedSeconds *float64 `json:"predicted_seconds,omitempty"`
-	// Tier reports which degradation level answered (necs, acg-region,
-	// safe-default; see core.RecommendSafe).
-	Tier string `json:"tier"`
-	// Generation is the model snapshot that produced the answer.
-	Generation uint64 `json:"generation"`
-	// Cached is true when the answer came from the recommendation cache;
-	// Coalesced when this request shared another request's computation
-	// (singleflight or in-batch dedup).
-	Cached    bool `json:"cached"`
-	Coalesced bool `json:"coalesced"`
-	// BatchSize is how many requests shared the inference batch (1 when
-	// the batcher is disabled or the answer was cached).
-	BatchSize int `json:"batch_size"`
-	// OverheadMS is the server-side decision time in milliseconds.
-	OverheadMS float64 `json:"overhead_ms"`
-}
+// RecommendResponse is the JSON answer to /v1/recommend (see
+// api.RecommendResponse).
+type RecommendResponse = api.RecommendResponse
 
 // ErrOverloaded is returned when the in-flight limiter (Options.
 // MaxInFlight) is at capacity: the request is shed immediately rather than

@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"path/filepath"
+	"sync/atomic"
+
+	"lite/internal/session"
+	"lite/internal/sparksim"
+	"lite/pkg/api"
+)
+
+// Tuning sessions (/v1/tuning/sessions, DESIGN.md §11). The subsystem
+// itself lives in internal/session; this file wires it into the server:
+// the store is opened in Start (persisting under Options.SessionDir
+// through the same WAL/snapshot seam as the model), proposals are scored
+// against the live published snapshot, and winning results are promoted
+// through the ordinary feedback path — on a trainer they enter the
+// adaptive-update queue, on a follower they are acknowledged locally and
+// carried to the trainer by the fleet router (the trainer owns promotion).
+
+// sessionsPtr is the store handle; atomic because handlers may race Start
+// in tests that spin the handler up concurrently.
+type sessionsPtr = atomic.Pointer[session.Store]
+
+func (s *Server) sessionStore() *session.Store { return s.sessions.Load() }
+
+// openSessions builds the session store (called from Start). Persistence
+// defaults to <WALDir>/sessions when a WAL directory is configured;
+// without one, sessions are in-memory and die with the process.
+func (s *Server) openSessions() error {
+	dir := s.opts.SessionDir
+	if dir == "" && s.opts.WALDir != "" {
+		dir = filepath.Join(s.opts.WALDir, "sessions")
+	}
+	st, err := session.Open(session.Options{
+		Dir:           dir,
+		FS:            s.opts.WALFS,
+		SyncEvery:     s.opts.WALSyncEvery,
+		SyncInterval:  s.opts.WALSyncInterval,
+		SnapshotEvery: s.opts.SessionSnapshotEvery,
+		DefaultBound:  s.opts.SessionDefaultBound,
+		Seed:          s.opts.Seed,
+		Now:           s.opts.Now,
+	})
+	if err != nil {
+		return err
+	}
+	s.sessions.Store(st)
+	s.reg.GaugeFunc("lite_sessions_active", func() float64 {
+		return float64(st.Active())
+	})
+	if st.RecoveredEvents > 0 || st.RecoveredSessions > 0 {
+		s.reg.Counter("lite_session_recovered_events_total").Add(uint64(st.RecoveredEvents))
+	}
+	return nil
+}
+
+// SessionRoutingKey derives the fleet sharding key from a session ID
+// alone: the identifying (app, datasize, cluster) fields are embedded in
+// the ID precisely so a router can place /v1/tuning/sessions/{id}/...
+// requests on the owning shard without a lookup table. The key is the same
+// (app, datasize bucket, env fingerprint) string /v1/recommend hashes, so
+// a session lives on the shard whose cache is hot for its keyspace slice.
+func SessionRoutingKey(id string) (string, error) {
+	app, sizeMB, cluster, err := session.ParseID(id)
+	if err != nil {
+		return "", badRequest("malformed session id %q", id)
+	}
+	return RoutingKey(app, sizeMB, cluster)
+}
+
+// snapshotScorer adapts one published model snapshot to the session
+// subsystem's Scorer: candidate screening sees exactly what /v1/recommend
+// would predict, at the session's exact datasize.
+type snapshotScorer struct {
+	scorer interface {
+		Score(cfg sparksim.Config) float64
+	}
+	env sparksim.Environment
+}
+
+func (sc snapshotScorer) Score(cfg sparksim.Config) float64 { return sc.scorer.Score(cfg) }
+
+func (sc snapshotScorer) Feasible(cfg sparksim.Config) bool {
+	return sparksim.Feasible(cfg, sc.env)
+}
+
+// handleSessions is the collection route: POST creates, GET lists.
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	st := s.sessionStore()
+	if st == nil {
+		s.writeAPIError(w, http.StatusServiceUnavailable, api.CodeUnavailable, "session store not started", 1000)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.writeJSON(w, http.StatusOK, api.SessionListResponse{Sessions: st.List()})
+	case http.MethodPost:
+		s.handleSessionCreate(w, r, st)
+	default:
+		s.requireMethod(w, r, http.MethodGet, http.MethodPost)
+	}
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request, st *session.Store) {
+	var req api.CreateSessionRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	app, env, err := s.resolve(req.App, req.Cluster)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.SizeMB <= 0 {
+		req.SizeMB = app.Sizes.Test
+	}
+	// The baseline is the static safe recommendation at the session's
+	// exact size — the config the session must never regress past by more
+	// than the bound, and the anchor trial 0 measures.
+	snap := s.snap.Load()
+	sr, err := snap.Tuner.RecommendSafeCtx(ctx, app.Spec, app.Spec.MakeData(req.SizeMB), env)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	sess, err := st.Create(app.Spec.Name, req.SizeMB, env.Name,
+		session.Strategy(req.Strategy), req.MaxTrials, req.SafetyBound,
+		sr.Config, sr.PredictedSeconds)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.reg.Counter("lite_sessions_created_total").Inc()
+	s.writeJSON(w, http.StatusCreated, sess)
+}
+
+// handleSessionByID is the item route: GET reads (with trial history),
+// DELETE closes (idempotent; the closed resource stays readable).
+func (s *Server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
+	st := s.sessionStore()
+	if st == nil {
+		s.writeAPIError(w, http.StatusServiceUnavailable, api.CodeUnavailable, "session store not started", 1000)
+		return
+	}
+	id := r.PathValue("id")
+	switch r.Method {
+	case http.MethodGet:
+		sess, err := st.Get(id, true)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, sess)
+	case http.MethodDelete:
+		sess, err := st.CloseSession(id)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.reg.Counter("lite_sessions_closed_total").Inc()
+		s.writeJSON(w, http.StatusOK, sess)
+	default:
+		s.requireMethod(w, r, http.MethodGet, http.MethodDelete)
+	}
+}
+
+// handleSessionProposal issues the next trial's configuration. The
+// proposal is screened against the live snapshot; re-requesting before
+// reporting returns the same trial without spending budget.
+func (s *Server) handleSessionProposal(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	st := s.sessionStore()
+	if st == nil {
+		s.writeAPIError(w, http.StatusServiceUnavailable, api.CodeUnavailable, "session store not started", 1000)
+		return
+	}
+	id := r.PathValue("id")
+	meta, err := st.Get(id, false)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	app, env, err := s.resolve(meta.App, meta.Cluster)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// One snapshot load for the whole proposal: the generation reported
+	// back is exactly the model every candidate was screened against.
+	snap := s.snap.Load()
+	scorer := snap.Tuner.Model.NewAppScorer(app.Spec, app.Spec.MakeData(meta.SizeMB), env)
+	prop, err := st.NextProposal(id, snapshotScorer{scorer: scorer, env: env})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.reg.Counter("lite_session_proposals_total{source=\"" + prop.Source + "\"}").Inc()
+	resp := api.ProposalResponse{
+		SessionID:         prop.SessionID,
+		Trial:             prop.Trial,
+		Config:            session.ConfigMap(prop.Config),
+		Source:            prop.Source,
+		BudgetRemaining:   prop.BudgetRemaining,
+		Generation:        snap.Gen,
+		AbortAfterSeconds: prop.AbortAfterSeconds,
+	}
+	if !math.IsNaN(prop.Predicted) && !math.IsInf(prop.Predicted, 0) {
+		p := prop.Predicted
+		resp.PredictedSeconds = &p
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionResult records a trial's measured outcome, exactly once per
+// trial, and promotes new session bests into the model through the
+// feedback path. The promoted body is also echoed in the response
+// (Promotion) so a fleet router can tee it to the trainer shard when this
+// instance is a follower.
+func (s *Server) handleSessionResult(w http.ResponseWriter, r *http.Request) {
+	st := s.sessionStore()
+	if st == nil {
+		s.writeAPIError(w, http.StatusServiceUnavailable, api.CodeUnavailable, "session store not started", 1000)
+		return
+	}
+	var req api.ReportResultRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	id := r.PathValue("id")
+	meta, err := st.Get(id, false)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	out, err := st.Report(id, req.Trial, req.Seconds, req.Failed)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if out.Violation {
+		s.reg.Counter("lite_session_violations_total").Inc()
+	}
+	resp := api.ReportResultResponse{
+		SessionID:       id,
+		Trial:           req.Trial,
+		Improved:        out.Improved,
+		Promoted:        out.Promote,
+		Violation:       out.Violation,
+		BestSeconds:     out.BestSeconds,
+		BaselineSeconds: out.BaselineSeconds,
+		BudgetRemaining: out.BudgetRemaining,
+	}
+	if out.Promote {
+		fb := api.FeedbackRequest{
+			App:     meta.App,
+			SizeMB:  meta.SizeMB,
+			Cluster: meta.Cluster,
+			Config:  session.ConfigMap(out.Config),
+		}
+		resp.Promotion = &fb
+		ctx, cancel := s.requestContext(r)
+		if _, ferr := s.FeedbackCtx(ctx, fb); ferr != nil {
+			// The result itself is recorded (and durable); a full feedback
+			// queue only delays the model learning this win. Count it —
+			// the session can re-discover the config, and a fleet router
+			// still tees resp.Promotion to the trainer.
+			s.reg.Counter("lite_session_promotions_dropped_total").Inc()
+		} else {
+			s.reg.Counter("lite_session_promotions_total").Inc()
+		}
+		cancel()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

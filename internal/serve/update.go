@@ -15,33 +15,17 @@ import (
 	"lite/internal/sparksim"
 	"lite/internal/wal"
 	"lite/internal/workload"
+	"lite/pkg/api"
 )
 
 // FeedbackRequest reports the outcome of executing a recommendation in
-// production (online Step 4). The configuration is given by knob name;
-// unspecified knobs default. The server executes the run on the simulated
+// production (online Step 4). The server executes the run on the simulated
 // cluster to recover stage-level instances — the stand-in for the paper's
-// instrumented production system.
-type FeedbackRequest struct {
-	App     string             `json:"app"`
-	SizeMB  float64            `json:"size_mb"`
-	Cluster string             `json:"cluster"`
-	Config  map[string]float64 `json:"config,omitempty"`
-}
+// instrumented production system. The wire shape lives in pkg/api.
+type FeedbackRequest = api.FeedbackRequest
 
-// FeedbackResponse acknowledges queued feedback.
-type FeedbackResponse struct {
-	Queued bool `json:"queued"`
-	// Pending is the queue depth after this item.
-	Pending int `json:"pending"`
-	// Generation is the model generation that will absorb this feedback
-	// (at the earliest).
-	Generation uint64 `json:"generation"`
-	// Seq is the feedback's write-ahead-log sequence number (0 when the
-	// WAL is disabled or the append failed). Once the WAL fsyncs past it,
-	// the feedback survives a crash.
-	Seq uint64 `json:"seq,omitempty"`
-}
+// FeedbackResponse acknowledges queued feedback (see api.FeedbackResponse).
+type FeedbackResponse = api.FeedbackResponse
 
 // ErrQueueFull is reported when the feedback queue cannot absorb another
 // item; the client should retry later.

@@ -9,8 +9,8 @@ import (
 func TestFacadeEndToEnd(t *testing.T) {
 	apps := []*App{WorkloadByName("WordCount"), WorkloadByName("Terasort")}
 	opts := DefaultTrainOptions()
-	opts.NECS.Epochs = 3
-	opts.Collect.ConfigsPerInstance = 4
+	opts.NECS.Epochs = 5
+	opts.Collect.ConfigsPerInstance = 6
 	tuner, ds := Train(apps, opts)
 	if tuner == nil || ds == nil {
 		t.Fatal("Train returned nil")

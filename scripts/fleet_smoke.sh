@@ -2,8 +2,12 @@
 # Fleet smoke test for the sharded serving tier (DESIGN.md §10).
 #
 # Boots a 3-shard litefleet, drives feedback until the trainer publishes a
-# retrained generation and the coordinator flips it fleet-wide, then
-# SIGKILLs one follower shard while liteload hammers the router and asserts:
+# retrained generation and the coordinator flips it fleet-wide, runs one
+# tuning-session lifecycle on a follower-owned key (create → proposals →
+# improving reports → close) and asserts the promotions are teed to the
+# trainer and flip a new generation fleet-wide with zero legacy-route hits,
+# then SIGKILLs one follower shard while liteload hammers the router and
+# asserts:
 #
 #   (a) re-route: the dead shard's arc moves to ring successors — the load
 #       run sees zero hard errors and the router counts ejections/re-routes,
@@ -49,8 +53,10 @@ metric() {
 scrape() { curl -s "$1/metrics" -o "$2" || fail "scraping $1/metrics"; }
 
 # healthz FIELD → python-free JSON field extraction via the fleet healthz
-# body; generations prints every shard's generation, one per line.
-fleet_health() { curl -s "$base/healthz"; }
+# body; generations prints every shard's generation, one per line. Uses the
+# /v1 route: the legacy-counter assertion below counts every shim hit, and
+# health polling happens inside its window.
+fleet_health() { curl -s "$base/v1/healthz"; }
 up_count()     { fleet_health | sed -n 's/.*"up":\([0-9]*\),"shards".*/\1/p'; }
 generations()  { fleet_health | grep -o '"generation":[0-9]*' | cut -d: -f2; }
 
@@ -113,6 +119,75 @@ done
 echo "fleet-smoke: fleet converged on generation $flipped_gen"
 
 ############################################################################
+echo "fleet-smoke: tuning session on a follower-owned key"
+# Everything from here on is /v1 tooling: the router's legacy-shim counter
+# must not move again until the (legacy, deliberately) final recovery curl.
+scrape "$base" "$workdir/sess-pre.metrics"
+legacy_before="$(awk '/^lite_http_legacy_requests_total/ {s+=$2} END {print s+0}' "$workdir/sess-pre.metrics")"
+
+sess_id=""
+sess_owner=""
+for combo in '{"app":"WordCount","size_mb":512,"cluster":"C","strategy":"moderate","max_trials":10}' \
+             '{"app":"KMeans","size_mb":1024,"cluster":"B","strategy":"moderate","max_trials":10}' \
+             '{"app":"PageRank","size_mb":2048,"cluster":"A","strategy":"moderate","max_trials":10}' \
+             '{"app":"TeraSort","size_mb":4096,"cluster":"C","strategy":"moderate","max_trials":10}'; do
+    curl -s -D "$workdir/sess.hdr" -o "$workdir/sess.json" -X POST -H 'Content-Type: application/json' \
+        -d "$combo" "$base/v1/tuning/sessions" || fail "creating session"
+    owner="$(awk -F': ' 'tolower($1)=="x-lite-shard" {print $2}' "$workdir/sess.hdr" | tr -d '\r' | head -n1)"
+    id="$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$workdir/sess.json")"
+    if [[ -n "$id" && -n "$owner" && "$owner" != "shard0" ]]; then
+        sess_id="$id"
+        sess_owner="$owner"
+        break
+    fi
+    [[ -n "$id" ]] && curl -s -o /dev/null -X DELETE "$base/v1/tuning/sessions/$id"
+done
+[[ -n "$sess_id" ]] || fail "no session key hashed to a follower shard"
+echo "fleet-smoke: session $sess_id owned by follower $sess_owner"
+
+# Drive the lifecycle: trial 0 measures the baseline, every later trial
+# "measures" a strict improvement, so each one promotes through the
+# feedback path. Reports stay far below the abort_after_seconds guard-rail.
+promotions=0
+for _ in $(seq 0 7); do
+    curl -s -o "$workdir/prop.json" -X POST "$base/v1/tuning/sessions/$sess_id/proposal" \
+        || fail "requesting proposal"
+    trial="$(sed -n 's/.*"trial":\([0-9]*\).*/\1/p' "$workdir/prop.json" | head -n1)"
+    [[ -n "$trial" ]] || fail "proposal carried no trial: $(cat "$workdir/prop.json")"
+    curl -s -o "$workdir/result.json" -X POST -H 'Content-Type: application/json' \
+        -d "{\"trial\":$trial,\"seconds\":$((100 - trial))}" \
+        "$base/v1/tuning/sessions/$sess_id/result" || fail "reporting result"
+    grep -q "\"session_id\":\"$sess_id\"" "$workdir/result.json" \
+        || fail "result not acknowledged: $(cat "$workdir/result.json")"
+    grep -q '"promoted":true' "$workdir/result.json" && promotions=$((promotions + 1))
+done
+[[ "$promotions" -ge 4 ]] || fail "session promoted $promotions wins, want >= 4 (one per improving trial)"
+
+curl -s -o /dev/null -X DELETE "$base/v1/tuning/sessions/$sess_id" || fail "closing session"
+curl -s "$base/v1/tuning/sessions" | grep -q "$sess_id" \
+    || fail "closed session missing from the fleet-wide list"
+
+# The promotions happened on a follower; the router tees each one to the
+# trainer, whose update loop retrains and the coordinator flips the new
+# generation fleet-wide — the promotion is visible everywhere.
+scrape "$base" "$workdir/sess-post.metrics"
+teed="$(metric "$workdir/sess-post.metrics" lite_fleet_session_promotions_teed_total)"
+[[ "$teed" -ge "$promotions" ]] || fail "only $teed of $promotions promotions teed to the trainer"
+
+session_gen=""
+for _ in $(seq 1 240); do
+    gens="$(generations | sort -u)"
+    if [[ "$(echo "$gens" | wc -l)" == "1" && "$gens" -gt "$flipped_gen" ]]; then
+        session_gen="$gens"
+        break
+    fi
+    sleep 0.5
+done
+[[ -n "$session_gen" ]] || fail "promotions never produced a fleet-wide flip past generation $flipped_gen (generations: $(generations | tr '\n' ' '))"
+echo "fleet-smoke: session promotions flipped the fleet to generation $session_gen"
+flipped_gen="$session_gen"
+
+############################################################################
 echo "fleet-smoke: SIGKILLing a follower under load"
 victim_pid="$(sed -n 's/.*shard id=shard1 pid=\([0-9]*\).*/\1/p' "$log" | head -n1)"
 [[ -n "$victim_pid" ]] || fail "could not find shard1's pid in the supervisor log"
@@ -139,6 +214,12 @@ scrape "$base" "$workdir/post.metrics"
 ejections="$(metric "$workdir/post.metrics" lite_fleet_ejections_total)"
 rerouted="$(metric "$workdir/post.metrics" lite_fleet_rerouted_total)"
 [[ "$ejections" -ge 1 ]] || fail "dead shard was never ejected (ejections=$ejections)"
+
+# The session curls and the liteload run above are all /v1 tooling: the
+# legacy deprecation shims must not have been touched since the baseline.
+legacy_after="$(awk '/^lite_http_legacy_requests_total/ {s+=$2} END {print s+0}' "$workdir/post.metrics")"
+[[ "$legacy_after" == "$legacy_before" ]] \
+    || fail "new tooling hit legacy routes: lite_http_legacy_requests_total $legacy_before -> $legacy_after"
 
 ############################################################################
 echo "fleet-smoke: waiting for supervisor restart + re-admission + re-flip"
@@ -168,6 +249,12 @@ code="$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: applica
 [[ "$code" == "200" ]] || fail "POST /recommend after recovery returned $code"
 
 {
+    echo ""
+    echo "tuning session on follower $sess_owner ($sess_id):"
+    echo "  promotions from improving trials: $promotions"
+    echo "  promotions teed to the trainer:   $teed"
+    echo "  fleet flipped to generation:      $flipped_gen (promotion visible fleet-wide)"
+    echo "  legacy-route hits by /v1 tooling: $((legacy_after - legacy_before)) (want 0)"
     echo ""
     echo "3-shard fleet, shard1 SIGKILLed under load (1200 reqs, 8 workers):"
     echo "  hard errors during the kill:  ${errors:-?} (want 0 — arc re-routed to successors)"

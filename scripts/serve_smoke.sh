@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Smoke test for liteserve: boot on a random port with a minimal
-# boot-trained model, issue one /recommend and one /feedback request, and
-# assert both return HTTP 200.
+# boot-trained model, issue one /recommend and one /feedback request
+# through the legacy deprecation shims (asserting both still answer 200
+# with the Deprecation header), then run a full /v1 tuning-session
+# lifecycle and one error-envelope check.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,7 +47,7 @@ if [[ -z "$base" ]]; then
 fi
 echo "serve-smoke: server ready at $base"
 
-code="$(curl -s -o "$workdir/recommend.json" -w '%{http_code}' \
+code="$(curl -s -D "$workdir/recommend.hdr" -o "$workdir/recommend.json" -w '%{http_code}' \
     -X POST -H 'Content-Type: application/json' \
     -d '{"app":"WordCount","size_mb":512,"cluster":"C"}' \
     "$base/recommend")"
@@ -54,7 +56,11 @@ if [[ "$code" != "200" ]]; then
     cat "$workdir/recommend.json" >&2
     exit 1
 fi
-echo "serve-smoke: /recommend 200 ($(head -c 120 "$workdir/recommend.json")…)"
+if ! grep -qi '^Deprecation: true' "$workdir/recommend.hdr"; then
+    echo "serve-smoke: legacy /recommend answered without a Deprecation header" >&2
+    exit 1
+fi
+echo "serve-smoke: /recommend 200 + Deprecation header ($(head -c 120 "$workdir/recommend.json")…)"
 
 code="$(curl -s -o "$workdir/feedback.json" -w '%{http_code}' \
     -X POST -H 'Content-Type: application/json' \
@@ -66,5 +72,65 @@ if [[ "$code" != "200" ]]; then
     exit 1
 fi
 echo "serve-smoke: /feedback 200 ($(cat "$workdir/feedback.json"))"
+
+# Full /v1 tuning-session lifecycle: create → baseline proposal → report →
+# second proposal (now carrying the abort_after_seconds guard-rail) →
+# report an improvement → close.
+code="$(curl -s -o "$workdir/sess.json" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' \
+    -d '{"app":"WordCount","size_mb":512,"cluster":"C","strategy":"moderate","max_trials":4}' \
+    "$base/v1/tuning/sessions")"
+if [[ "$code" != "201" ]]; then
+    echo "serve-smoke: POST /v1/tuning/sessions returned $code" >&2
+    cat "$workdir/sess.json" >&2
+    exit 1
+fi
+sess_id="$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$workdir/sess.json")"
+if [[ -z "$sess_id" ]]; then
+    echo "serve-smoke: session create returned no id: $(cat "$workdir/sess.json")" >&2
+    exit 1
+fi
+echo "serve-smoke: session created ($sess_id)"
+
+for trial in 0 1; do
+    code="$(curl -s -o "$workdir/prop.json" -w '%{http_code}' \
+        -X POST "$base/v1/tuning/sessions/$sess_id/proposal")"
+    if [[ "$code" != "200" ]]; then
+        echo "serve-smoke: proposal returned $code: $(cat "$workdir/prop.json")" >&2
+        exit 1
+    fi
+    if [[ "$trial" == "1" ]] && ! grep -q '"abort_after_seconds"' "$workdir/prop.json"; then
+        echo "serve-smoke: post-baseline proposal missing the abort_after_seconds guard-rail: $(cat "$workdir/prop.json")" >&2
+        exit 1
+    fi
+    code="$(curl -s -o "$workdir/result.json" -w '%{http_code}' \
+        -X POST -H 'Content-Type: application/json' \
+        -d "{\"trial\":$trial,\"seconds\":$((100 - trial))}" \
+        "$base/v1/tuning/sessions/$sess_id/result")"
+    if [[ "$code" != "200" ]]; then
+        echo "serve-smoke: result returned $code: $(cat "$workdir/result.json")" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"promoted":true' "$workdir/result.json"; then
+    echo "serve-smoke: improving trial was not promoted: $(cat "$workdir/result.json")" >&2
+    exit 1
+fi
+code="$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "$base/v1/tuning/sessions/$sess_id")"
+if [[ "$code" != "200" ]]; then
+    echo "serve-smoke: DELETE session returned $code" >&2
+    exit 1
+fi
+echo "serve-smoke: session lifecycle OK (proposal → report → promotion → close)"
+
+# Every /v1 failure answers with the unified error envelope.
+code="$(curl -s -o "$workdir/err.json" -w '%{http_code}' \
+    "$base/v1/tuning/sessions/no.1.C.00000000")"
+if [[ "$code" != "404" ]] || ! grep -q '"error"' "$workdir/err.json" \
+    || ! grep -q '"not_found"' "$workdir/err.json"; then
+    echo "serve-smoke: unknown-id error was not the envelope ($code): $(cat "$workdir/err.json")" >&2
+    exit 1
+fi
+echo "serve-smoke: error envelope OK ($(cat "$workdir/err.json" | head -c 120))"
 
 echo "serve-smoke: OK"
