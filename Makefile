@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify serve-smoke chaos-smoke fleet-smoke bench bench-parallel clean
+.PHONY: build test vet race lint verify serve-smoke chaos-smoke fleet-smoke bench bench-parallel bench-regression clean
 
 build:
 	$(GO) build ./...
@@ -16,12 +16,19 @@ vet:
 race:
 	$(GO) test -race -shuffle=on ./...
 
+# lint enforces the exported-comment rule (internal/tools/exportlint, a
+# dependency-free revive/ST1020 equivalent): every exported symbol in the
+# library packages must carry a godoc comment starting with its name.
+lint:
+	$(GO) run ./internal/tools/exportlint $(wildcard internal/*) pkg/api pkg/client
+
 # verify is the tier-1 gate plus the serving-stack race check: everything
-# must compile, every test pass, and the concurrent read/hot-swap paths
-# must be clean under the race detector.
+# must compile, every test pass, every exported symbol be documented, and
+# the concurrent read/hot-swap paths be clean under the race detector.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) run ./internal/tools/exportlint $(wildcard internal/*) pkg/api pkg/client
 	$(GO) test -shuffle=on ./...
 	$(GO) test -race -shuffle=on ./internal/serve/... ./internal/core/... ./internal/fleet/...
 
@@ -51,6 +58,12 @@ bench:
 bench-parallel:
 	./scripts/bench.sh
 
+# bench-regression re-runs the single-core recommendation benchmark and
+# fails if it regressed >2x against the committed BENCH_parallel.json
+# baseline (see BENCHMARKS.md). Writes bench_regression.txt.
+bench-regression:
+	./scripts/bench_regression.sh
+
 clean:
 	$(GO) clean ./...
-	rm -f lite-tuner.json chaos_report.txt fleet_report.txt
+	rm -f lite-tuner.json chaos_report.txt fleet_report.txt bench_regression.txt

@@ -75,6 +75,33 @@ func BenchmarkRecommend(b *testing.B) {
 	}
 }
 
+// BenchmarkRecommendF32 is BenchmarkRecommend with float32 serving enabled
+// (the packed tower plan, DESIGN.md §12); the delta against BenchmarkRecommend
+// isolates what the f32 kernel buys on top of batched f64 scoring.
+func BenchmarkRecommendF32(b *testing.B) {
+	tuner, _ := parBench()
+	app := workload.ByName("WordCount")
+	data := app.Spec.MakeData(app.Sizes.Train[0])
+	env := sparksim.ClusterC
+
+	tuner.EnableF32Serving()
+	defer tuner.DisableF32Serving()
+	for _, w := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			core.SetScoreWorkers(w)
+			defer core.SetScoreWorkers(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := tuner.Recommend(app.Spec, data, env)
+				if len(rec.Ranked) != 64 {
+					b.Fatalf("ranked %d candidates, want 64", len(rec.Ranked))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFit measures NECS training throughput over the shared dataset:
 // replicas=0 is the historical serial loop, replicas=1 the parallel engine's
 // bit-identical mode, higher counts the data-parallel regime (one averaged

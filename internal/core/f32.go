@@ -1,0 +1,223 @@
+package core
+
+// This file is the float32 serving path (DESIGN.md §12): models train in
+// float64, and at publish time the serving layer compiles the tower MLP —
+// the only per-candidate computation left after scorer.go hoists the CNN
+// and GCN forwards — into a packed float32 plan. Serving with the plan
+// halves the tower's memory traffic; the per-stage encoders deliberately
+// stay float64 (they run once per request, so their cost is amortized over
+// all candidates and keeping them double-precision removes one source of
+// ranking drift).
+//
+// Contract (train-f64 / serve-f32): the float32 path is a pure serving
+// projection. It is NEVER used for training, for the hot-swap validation
+// gate (validate.go scores the float64 model), or for persistence (Save
+// writes float64 weights; plans are recompiled after load). Correctness is
+// guarded by the golden ranking-equivalence test
+// (TestF32RankingEquivalence): across seeded workloads the float32 path
+// must produce the same top-K candidate ordering as float64. Compilation
+// is deterministic — plain float64→float32 rounding of each weight — so
+// two replicas compiling the same snapshot serve identical plans.
+
+import (
+	"math"
+	"sync"
+
+	"lite/internal/feature"
+	"lite/internal/sparksim"
+)
+
+// F32Plan is a packed float32 compilation of a NECS tower: per layer the
+// row-major in×out weight matrix and the bias row, plus the layer widths.
+// A plan is immutable after CompileF32 and safe for concurrent use.
+type F32Plan struct {
+	weights [][]float32 // layer l: in_l × out_l, row-major
+	biases  [][]float32 // layer l: out_l
+	widths  []int       // in_0, out_0, out_1, …, 1
+}
+
+// CompileF32 packs the model's tower into a float32 serving plan by
+// rounding every weight to float32. The model must not be mutated while
+// CompileF32 reads it (same contract as every prediction method).
+func (m *NECS) CompileF32() *F32Plan {
+	p := &F32Plan{}
+	for li, l := range m.Tower.Layers {
+		w := l.W.Value
+		if li == 0 {
+			p.widths = append(p.widths, w.Rows)
+		}
+		p.widths = append(p.widths, w.Cols)
+		ws := make([]float32, len(w.Data))
+		for i, v := range w.Data {
+			ws[i] = float32(v)
+		}
+		bs := make([]float32, len(l.B.Value.Data))
+		for i, v := range l.B.Value.Data {
+			bs[i] = float32(v)
+		}
+		p.weights = append(p.weights, ws)
+		p.biases = append(p.biases, bs)
+	}
+	return p
+}
+
+// InputWidth returns the tower input width the plan was compiled for.
+func (p *F32Plan) InputWidth() int { return p.widths[0] }
+
+// f32Arena is the float32 counterpart of nn.Arena: a request-scoped bump
+// allocator for the f32 kernel's input and activation buffers, recycled
+// through f32ArenaPool. Same ownership rules: one goroutine per pass,
+// buffers invalid after reset, contents uninitialized on alloc.
+type f32Arena struct {
+	slab []float32
+	off  int
+}
+
+func (a *f32Arena) alloc(n int) []float32 {
+	if a.off+n > len(a.slab) {
+		grow := 2 * len(a.slab)
+		if grow < a.off+n {
+			grow = a.off + n
+		}
+		a.slab = make([]float32, grow)
+		a.off = 0
+	}
+	out := a.slab[a.off : a.off+n : a.off+n]
+	a.off += n
+	return out
+}
+
+func (a *f32Arena) reset() { a.off = 0 }
+
+var f32ArenaPool = sync.Pool{New: func() any { return new(f32Arena) }}
+
+// UseF32 attaches a packed float32 plan to the scorer and materializes the
+// float32 projections of its candidate-invariant sections. Must be called
+// before the scorer is shared across goroutines (the tuner attaches the
+// plan at scorer construction).
+func (s *AppScorer) UseF32(p *F32Plan) *AppScorer {
+	s.f32 = p
+	s.shared32 = make([]float32, len(s.shared))
+	for i, v := range s.shared {
+		s.shared32[i] = float32(v)
+	}
+	s.rep32 = make([][]float32, len(s.stages))
+	for si, st := range s.stages {
+		r := make([]float32, len(st.rep))
+		for i, v := range st.rep {
+			r[i] = float32(v)
+		}
+		s.rep32[si] = r
+	}
+	return s
+}
+
+// scoreBatchF32 is the float32 batched kernel: same candidate-major
+// [C·S × d] layout and one-GEMM-per-layer structure as scoreBatchF64, with
+// float32 storage and arithmetic in the tower. Outputs convert back to
+// float64 for the seconds clamp and the plan-order aggregation.
+func (s *AppScorer) scoreBatchF32(cfgs []sparksim.Config, preds []float64, oks []bool) {
+	ar := f32ArenaPool.Get().(*f32Arena)
+	ar.reset()
+	defer f32ArenaPool.Put(ar)
+
+	nStages := len(s.stages)
+	width := s.f32.InputWidth()
+	rows := len(cfgs) * nStages
+	x := ar.alloc(rows * width)
+	for ci, cfg := range cfgs {
+		knobs := cfg.Normalized()
+		derived := feature.DerivedResourceFeatures(cfg, s.data, s.env)
+		row := x[ci*nStages*width : ci*nStages*width+width]
+		off := 0
+		for _, v := range knobs {
+			row[off] = float32(v)
+			off++
+		}
+		off += copy(row[off:], s.shared32)
+		for _, v := range derived {
+			row[off] = float32(v)
+			off++
+		}
+		copy(row[off:], s.rep32[0])
+		for si := 1; si < nStages; si++ {
+			r := x[(ci*nStages+si)*width : (ci*nStages+si+1)*width]
+			copy(r, row[:feature.DenseWidth])
+			copy(r[feature.DenseWidth:], s.rep32[si])
+		}
+	}
+
+	// Tower forward: one float32 GEMM per layer over all rows.
+	h := x
+	in := width
+	for li, w := range s.f32.weights {
+		out := s.f32.widths[li+1]
+		bias := s.f32.biases[li]
+		next := ar.alloc(rows * out)
+		last := li+1 == len(s.f32.weights)
+		for r := 0; r < rows; r++ {
+			hrow := h[r*in : (r+1)*in]
+			orow := next[r*out : (r+1)*out]
+			copy(orow, bias)
+			for k, hv := range hrow {
+				if hv == 0 {
+					continue
+				}
+				wrow := w[k*out : (k+1)*out]
+				for j, wv := range wrow {
+					orow[j] += hv * wv
+				}
+			}
+			if !last {
+				for j, v := range orow {
+					if !(v > 0) {
+						orow[j] = 0
+					}
+				}
+			}
+		}
+		h = next
+		in = out
+	}
+
+	secs := make([]float64, nStages)
+	for ci := range cfgs {
+		ok := true
+		base := ci * nStages
+		for si := 0; si < nStages; si++ {
+			raw := float64(h[base+si])
+			sec, fin := secondsChecked(raw)
+			secs[si] = sec
+			ok = ok && fin
+		}
+		var total float64
+		for _, pi := range s.plan {
+			total += secs[s.slot[pi]]
+		}
+		preds[ci] = total
+		if oks != nil {
+			oks[ci] = ok
+		}
+	}
+}
+
+// f32Finite reports whether every packed weight in the plan is finite —
+// a compiled projection of a poisoned model must be detectable without
+// scoring (used by tests and defensive publish checks).
+func (p *F32Plan) f32Finite() bool {
+	for _, layer := range p.weights {
+		for _, v := range layer {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return false
+			}
+		}
+	}
+	for _, layer := range p.biases {
+		for _, v := range layer {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -287,7 +287,14 @@ func (m *NECS) PredictSeconds(x *Encoded) float64 {
 // distinguish "worst-ranked" from "cannot rank at all" (the serve layer's
 // hot-swap validation gate) check ok instead of the clamped value.
 func (m *NECS) PredictSecondsChecked(x *Encoded) (float64, bool) {
-	raw := m.Predict(x)
+	return secondsChecked(m.Predict(x))
+}
+
+// secondsChecked converts a raw log-space prediction into clamped seconds
+// plus the pre-clamp finiteness report. It is the single conversion both
+// the autograd path (PredictSecondsChecked) and the batched inference
+// kernel (batch.go) share, so the two cannot drift.
+func secondsChecked(raw float64) (float64, bool) {
 	s := SecondsOf(raw)
 	ok := !math.IsNaN(raw) && !math.IsInf(raw, 0) && !math.IsNaN(s) && !math.IsInf(s, 0)
 	switch {

@@ -4,11 +4,13 @@ package core
 // One online recommendation scores NumCandidates (64 by default)
 // configurations for a single fixed (application, datasize, environment)
 // triple; every per-stage input except the knob-dependent features is
-// identical across those candidates. AppScorer encodes the shared parts
-// exactly once — stage token ids, DAG matrices, data features, environment
-// features — so candidate scoring only computes the candidate-specific
-// dense features and the forward passes, and so parallel workers scoring
-// different candidates never contend on the encoder's memoization mutex.
+// identical across those candidates. AppScorer therefore encodes AND
+// forward-passes the shared parts exactly once — stage token ids, DAG
+// matrices, the CNN code representation h_code, the GCN representation
+// h_DAG, data features, environment features — so per-candidate work is
+// reduced to the candidate's dense features plus the tower MLP. The tower
+// itself runs batched: all candidates' rows go through one GEMM per layer
+// (batch.go). See DESIGN.md §12 for the kernel and its cost model.
 
 import (
 	"lite/internal/feature"
@@ -16,11 +18,16 @@ import (
 )
 
 // scorerStage is the candidate-invariant encoding of one unique stage of
-// the expanded plan: token ids and DAG matrices out of the encoder cache.
+// the expanded plan: token ids and DAG matrices out of the encoder cache,
+// plus the precomputed tower-input tail h_code ‖ h_DAG.
 type scorerStage struct {
 	index int
 	toks  []int
 	dag   *dagEnc
+	// rep is h_code ‖ h_DAG, the candidate-invariant suffix of this
+	// stage's tower input row, computed once at scorer construction via
+	// the forward-only inference path (bitwise identical to the graph).
+	rep []float64
 }
 
 // AppScorer scores candidate configurations for one fixed (application,
@@ -28,26 +35,40 @@ type scorerStage struct {
 // is safe for concurrent use by any number of goroutines: after
 // construction it only reads its own precomputed encodings and the
 // (read-only during scoring) model weights. Score(cfg) returns bitwise
-// the same value NECS.PredictApp returns for the same inputs.
+// the same value NECS.PredictApp has always returned for the same inputs;
+// TestScoreBatchBitwiseGolden pins that contract against the historical
+// autograd path.
 type AppScorer struct {
 	model *NECS
 	// plan is the expanded stage sequence; stages lists each unique stage
 	// in first-appearance order with its static encoding.
 	plan   []int
 	stages []scorerStage
+	// slot maps a stage index to its position in stages (= its row group
+	// in the batched tower input).
+	slot map[int]int
 	// shared is data.Features() ++ env.Features(), the candidate-invariant
 	// middle section of every stage's dense feature vector.
 	shared []float64
 	data   sparksim.DataSpec
 	env    sparksim.Environment
+	// f32 is the packed float32 serving plan, nil unless the owning tuner
+	// enabled float32 serving (f32.go). When set, Score/ScoreBatch run the
+	// tower in float32; the float64 path is the default everywhere else.
+	f32 *F32Plan
+	// rep32/shared32 are the float32 projections of the per-stage reps and
+	// the shared dense section, materialized by UseF32.
+	rep32    [][]float32
+	shared32 []float32
 }
 
 // NewAppScorer precomputes the candidate-invariant encodings for scoring
-// app on data in env. The returned scorer is immutable and safe for
-// concurrent Score calls.
+// app on data in env, including each unique stage's CNN and GCN forward
+// pass (run once here instead of once per candidate). The returned scorer
+// is immutable and safe for concurrent Score / ScoreBatch calls.
 func (m *NECS) NewAppScorer(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) *AppScorer {
 	plan := app.ExpandedStages(data)
-	s := &AppScorer{model: m, plan: plan, data: data, env: env}
+	s := &AppScorer{model: m, plan: plan, data: data, env: env, slot: make(map[int]int, len(app.Stages))}
 	s.shared = append(append([]float64{}, data.Features()...), env.Features()...)
 	seen := make(map[int]bool, len(app.Stages))
 	for _, si := range plan {
@@ -57,7 +78,13 @@ func (m *NECS) NewAppScorer(app *sparksim.AppSpec, data sparksim.DataSpec, env s
 		seen[si] = true
 		st := &app.Stages[si]
 		toks, dag := m.Encoder.stageStatic(st.Code, st.Ops, st.Edges)
-		s.stages = append(s.stages, scorerStage{index: si, toks: toks, dag: dag})
+		hCode := m.Code.Infer(toks)
+		hDAG := m.DAG.Infer(dag.aHat, dag.nodes)
+		rep := make([]float64, 0, hCode.Cols+hDAG.Cols)
+		rep = append(rep, hCode.Data...)
+		rep = append(rep, hDAG.Data...)
+		s.slot[si] = len(s.stages)
+		s.stages = append(s.stages, scorerStage{index: si, toks: toks, dag: dag, rep: rep})
 	}
 	return s
 }
@@ -75,8 +102,21 @@ func (s *AppScorer) Score(cfg sparksim.Config) float64 {
 // stage's raw (pre-clamp) prediction was non-finite. The returned score is
 // still the clamped, always-finite aggregate — callers that must tell a
 // genuinely slow candidate from a model that cannot rank at all (the serve
-// layer's hot-swap validation gate) branch on ok.
+// layer's hot-swap validation gate) branch on ok. It is a batch of one
+// through the batched kernel (batch.go), so single scoring and batched
+// scoring cannot drift apart.
 func (s *AppScorer) ScoreChecked(cfg sparksim.Config) (float64, bool) {
+	var pred [1]float64
+	var ok [1]bool
+	s.ScoreBatch([]sparksim.Config{cfg}, pred[:], ok[:])
+	return pred[0], ok[0]
+}
+
+// scoreGraph is the historical per-candidate scoring path through the
+// autograd graph (one full CNN+GCN+tower forward per stage per call). It
+// is retained as the bitwise golden reference the batched inference kernel
+// is tested against, and is not used on any serving path.
+func (s *AppScorer) scoreGraph(cfg sparksim.Config) (float64, bool) {
 	// The candidate-dependent dense sections are shared by every stage of
 	// this candidate: compute them once, not once per stage.
 	knobs := cfg.Normalized()
@@ -100,7 +140,7 @@ func (s *AppScorer) ScoreChecked(cfg sparksim.Config) (float64, bool) {
 		ok = ok && fin
 	}
 	// Sum in plan order, exactly as PredictApp always has, so the
-	// aggregate is bit-identical to the serial path.
+	// aggregate is bit-identical to the batched path.
 	var total float64
 	for _, si := range s.plan {
 		total += perStage[si]

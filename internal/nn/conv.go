@@ -19,37 +19,12 @@ func Conv1DMaxPool(input *Node, filters []*Node, bias *Node) *Node {
 	d := input.Value.Rows
 	n := input.Value.Cols
 	f := len(filters)
-	if f == 0 {
-		panic("nn: Conv1DMaxPool requires at least one filter")
+	vals := make([]*tensor.Tensor, f)
+	for i, filt := range filters {
+		vals[i] = filt.Value
 	}
-	k := filters[0].Value.Cols
-	if n < k {
-		panic("nn: Conv1DMaxPool input shorter than kernel")
-	}
-	out := tensor.New(1, f)
-	argmax := make([]int, f)
-	for fi, filt := range filters {
-		if filt.Value.Rows != d || filt.Value.Cols != k {
-			panic("nn: Conv1DMaxPool filter shape mismatch")
-		}
-		best, bp := math.Inf(-1), 0
-		w := filt.Value
-		for p := 0; p+k <= n; p++ {
-			var s float64
-			for r := 0; r < d; r++ {
-				irow := input.Value.Data[r*n:]
-				wrow := w.Data[r*k:]
-				for c := 0; c < k; c++ {
-					s += irow[p+c] * wrow[c]
-				}
-			}
-			if s > best {
-				best, bp = s, p
-			}
-		}
-		out.Data[fi] = best + bias.Value.Data[fi]
-		argmax[fi] = bp
-	}
+	out, argmax := conv1DMaxPoolValue(input.Value, vals, bias.Value)
+	k := vals[0].Cols
 	parents := make([]*Node, 0, f+2)
 	parents = append(parents, input)
 	parents = append(parents, filters...)
@@ -92,6 +67,47 @@ func Conv1DMaxPool(input *Node, filters []*Node, bias *Node) *Node {
 	return newNode(out, back, parents...)
 }
 
+// conv1DMaxPoolValue is the shared forward kernel of Conv1DMaxPool: it
+// computes the 1×F pooled feature map and the argmax position per filter.
+// Both the autograd op above and the inference path (infer.go) call it, so
+// the two paths are bitwise identical by construction.
+func conv1DMaxPoolValue(input *tensor.Tensor, filters []*tensor.Tensor, bias *tensor.Tensor) (*tensor.Tensor, []int) {
+	d := input.Rows
+	n := input.Cols
+	f := len(filters)
+	if f == 0 {
+		panic("nn: Conv1DMaxPool requires at least one filter")
+	}
+	k := filters[0].Cols
+	if n < k {
+		panic("nn: Conv1DMaxPool input shorter than kernel")
+	}
+	out := tensor.New(1, f)
+	argmax := make([]int, f)
+	for fi, w := range filters {
+		if w.Rows != d || w.Cols != k {
+			panic("nn: Conv1DMaxPool filter shape mismatch")
+		}
+		best, bp := math.Inf(-1), 0
+		for p := 0; p+k <= n; p++ {
+			var s float64
+			for r := 0; r < d; r++ {
+				irow := input.Data[r*n:]
+				wrow := w.Data[r*k:]
+				for c := 0; c < k; c++ {
+					s += irow[p+c] * wrow[c]
+				}
+			}
+			if s > best {
+				best, bp = s, p
+			}
+		}
+		out.Data[fi] = best + bias.Data[fi]
+		argmax[fi] = bp
+	}
+	return out, argmax
+}
+
 // EmbeddingLookup gathers rows of the embedding table for the given ids and
 // returns them transposed as a D×N matrix (embedding dim × sequence length),
 // the orientation NECS's CNN expects. id < 0 selects the zero padding
@@ -99,16 +115,7 @@ func Conv1DMaxPool(input *Node, filters []*Node, bias *Node) *Node {
 func EmbeddingLookup(table *Node, ids []int) *Node {
 	d := table.Value.Cols
 	n := len(ids)
-	v := tensor.New(d, n)
-	for j, id := range ids {
-		if id < 0 {
-			continue
-		}
-		row := table.Value.RowView(id)
-		for r := 0; r < d; r++ {
-			v.Data[r*n+j] = row[r]
-		}
-	}
+	v := embeddingLookupValue(table.Value, ids)
 	back := func(g *tensor.Tensor) {
 		if !table.requiresGrad {
 			return
@@ -126,6 +133,24 @@ func EmbeddingLookup(table *Node, ids []int) *Node {
 		table.accumGrad(gt)
 	}
 	return newNode(v, back, table)
+}
+
+// embeddingLookupValue is the shared forward kernel of EmbeddingLookup,
+// also used by the inference path (infer.go).
+func embeddingLookupValue(table *tensor.Tensor, ids []int) *tensor.Tensor {
+	d := table.Cols
+	n := len(ids)
+	v := tensor.New(d, n)
+	for j, id := range ids {
+		if id < 0 {
+			continue
+		}
+		row := table.RowView(id)
+		for r := 0; r < d; r++ {
+			v.Data[r*n+j] = row[r]
+		}
+	}
+	return v
 }
 
 // EmbeddingLookupRows gathers rows of the embedding table as an N×D matrix

@@ -1,0 +1,155 @@
+package nn
+
+// This file is the forward-only inference path of the NECS building
+// blocks (DESIGN.md §12). The autograd graph in ops.go/conv.go allocates
+// one Node per operation so gradients can flow; serving never needs
+// gradients, so the hot path below computes the same values with plain
+// tensor arithmetic — no graph nodes, no backward closures — and batches
+// the tower MLP so each layer is a single GEMM over all candidates
+// instead of one small matmul per candidate.
+//
+// Bitwise contract: every Infer* function must produce values bit-identical
+// to its graph counterpart (CNNEncoder.Forward, GCNEncoder.Forward,
+// MLP.ForwardHidden applied row by row). That holds because both paths
+// share the exact same value kernels — conv1DMaxPoolValue,
+// embeddingLookupValue, tensor.MatMulInto's per-row k-ascending
+// accumulation — and the elementwise ops (bias add, ReLU) are order-free.
+// TestScoreBatchBitwiseGolden in internal/core enforces the contract.
+
+import (
+	"lite/internal/tensor"
+)
+
+// Arena is a request-scoped bump allocator for inference activations.
+// Alloc hands out tensors backed by one reusable slab, so a scoring pass
+// performs no per-layer heap allocation after warm-up.
+//
+// Ownership and aliasing rules (DESIGN.md §12):
+//
+//   - An Arena is single-goroutine: exactly one scoring pass may use it at
+//     a time. Concurrent passes take distinct arenas from a pool.
+//   - Tensors returned by Alloc alias the arena's slab and are valid only
+//     until the next Reset. Results that outlive the pass must be copied
+//     out (the scoring kernels copy plain float64s, never arena tensors).
+//   - Alloc returns UNINITIALIZED memory: callers must fully overwrite the
+//     tensor (MatMulInto zeroes its output; row-fill loops write every
+//     element) before reading it.
+//   - Reset recycles the slab without zeroing. Alloc never returns
+//     overlapping tensors between two Resets, so distinct activations
+//     within one pass never alias each other.
+type Arena struct {
+	slab []float64
+	off  int
+}
+
+// Alloc returns an uninitialized rows×cols tensor backed by the arena.
+// The tensor is valid until the next Reset; see the aliasing rules above.
+func (a *Arena) Alloc(rows, cols int) *tensor.Tensor {
+	n := rows * cols
+	if a.off+n > len(a.slab) {
+		// Grow to at least double so a steady-state request shape settles
+		// into zero allocations. Tensors handed out before the growth keep
+		// referencing the old slab and stay valid for this pass.
+		grow := 2 * len(a.slab)
+		if grow < a.off+n {
+			grow = a.off + n
+		}
+		a.slab = make([]float64, grow)
+		a.off = 0
+	}
+	t := tensor.FromSlice(rows, cols, a.slab[a.off:a.off+n])
+	a.off += n
+	return t
+}
+
+// Reset recycles the arena for the next scoring pass. Every tensor handed
+// out since the previous Reset becomes invalid.
+func (a *Arena) Reset() { a.off = 0 }
+
+// Cap reports the arena's current slab capacity in float64s (diagnostics
+// and tests).
+func (a *Arena) Cap() int { return len(a.slab) }
+
+// reluInPlace applies ReLU elementwise in place with the exact predicate
+// the graph path uses (`x > 0 ? x : 0`), so −0.0 and NaN inputs map to
+// the same bits on both paths.
+func reluInPlace(t *tensor.Tensor) {
+	for i, v := range t.Data {
+		if !(v > 0) {
+			t.Data[i] = 0
+		}
+	}
+}
+
+// addRowBroadcastInPlace adds the 1×cols row v to every row of m in place.
+func addRowBroadcastInPlace(m, v *tensor.Tensor) {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic("nn: broadcast shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j, b := range v.Data {
+			row[j] += b
+		}
+	}
+}
+
+// Infer encodes a token-id sequence into the 1×OutDim code representation
+// without building an autograd graph — bitwise identical to Forward.
+func (c *CNNEncoder) Infer(ids []int) *tensor.Tensor {
+	emb := embeddingLookupValue(c.Embedding.Value, ids)
+	pooled := make([]*tensor.Tensor, len(c.banks))
+	ws := make([]*tensor.Tensor, 0, 8)
+	for i, bank := range c.banks {
+		ws = ws[:0]
+		for _, f := range bank {
+			ws = append(ws, f.Value)
+		}
+		v, _ := conv1DMaxPoolValue(emb, ws, c.biases[i].Value)
+		pooled[i] = v
+	}
+	q := tensor.Concat(pooled...)
+	h := tensor.AddRowBroadcast(tensor.MatMul(q, c.Proj.W.Value), c.Proj.B.Value)
+	reluInPlace(h)
+	return h
+}
+
+// Infer encodes a DAG into the 1×OutDim representation without building an
+// autograd graph — bitwise identical to Forward.
+func (g *GCNEncoder) Infer(aHat, nodeFeatures *tensor.Tensor) *tensor.Tensor {
+	h := nodeFeatures
+	for _, l := range g.Layers {
+		h = tensor.MatMul(tensor.MatMul(aHat, h), l.W.Value)
+		reluInPlace(h)
+	}
+	out, _ := h.ColMax()
+	return out
+}
+
+// InferBatch runs the MLP forward over an n×in batch with ONE GEMM per
+// layer: y_l = ReLU(X_l W_l + b_l) where X_l stacks every batch row. Row i
+// of the result is bitwise identical to Forward applied to row i alone,
+// because tensor.MatMulInto accumulates each output row independently over
+// the shared dimension in ascending order — batching changes which rows
+// share a call, never the arithmetic within a row.
+//
+// All activations are allocated from ar and become invalid at its next
+// Reset; callers must copy the outputs they keep. InferBatch does not
+// support FinalActivation (only the AMU discriminator sets it, and it
+// never serves).
+func (m *MLP) InferBatch(ar *Arena, x *tensor.Tensor) *tensor.Tensor {
+	if m.FinalActivation != nil {
+		panic("nn: InferBatch does not support FinalActivation")
+	}
+	h := x
+	for i, l := range m.Layers {
+		out := ar.Alloc(h.Rows, l.W.Value.Cols)
+		tensor.MatMulInto(out, h, l.W.Value)
+		addRowBroadcastInPlace(out, l.B.Value)
+		if i+1 < len(m.Layers) {
+			reluInPlace(out)
+		}
+		h = out
+	}
+	return h
+}

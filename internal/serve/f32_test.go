@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFloat32ServingAcrossHotSwap pins the serve-layer half of the
+// train-f64/serve-f32 contract (DESIGN.md §12): with Options.Float32 the
+// boot tuner serves through the packed float32 plan, and every retrained
+// generation the update loop publishes is recompiled to float32 after
+// passing the (float64) validation gate — the plan follows the model
+// through hot swaps, never the other way around.
+func TestFloat32ServingAcrossHotSwap(t *testing.T) {
+	s := newTestServer(t, Options{
+		UpdateBatch: 2,
+		Float32:     true,
+		Seed:        13,
+	})
+
+	if !s.Snapshot().Tuner.F32ServingEnabled() {
+		t.Fatal("boot snapshot is not serving float32")
+	}
+	rec, err := s.Recommend(RecommendRequest{App: "WordCount", SizeMB: 512, Cluster: "C"})
+	if err != nil {
+		t.Fatalf("f32 recommend: %v", err)
+	}
+	if rec.Tier != "necs" {
+		t.Fatalf("f32 recommend degraded to tier %q", rec.Tier)
+	}
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.Feedback(FeedbackRequest{App: "KMeans", SizeMB: 64, Cluster: "C"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for s.Snapshot().Gen == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("update loop never published generation 1")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if !s.Snapshot().Tuner.F32ServingEnabled() {
+		t.Fatal("retrained snapshot lost float32 serving across the hot swap")
+	}
+	rec2, err := s.Recommend(RecommendRequest{App: "WordCount", SizeMB: 512, Cluster: "C"})
+	if err != nil {
+		t.Fatalf("post-swap f32 recommend: %v", err)
+	}
+	if rec2.Tier != "necs" {
+		t.Fatalf("post-swap f32 recommend degraded to tier %q", rec2.Tier)
+	}
+}

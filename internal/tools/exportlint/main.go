@@ -1,0 +1,171 @@
+// Command exportlint enforces the exported-comment rule on selected
+// packages without external dependencies: every exported type, function,
+// method, constant, and variable must carry a doc comment that starts with
+// the symbol's name (revive/stylecheck ST1020-style). It is part of `make
+// verify`, so an exported symbol cannot land undocumented.
+//
+// Usage:
+//
+//	go run ./internal/tools/exportlint [dirs...]
+//
+// With no arguments it lints internal/core. Grouped declarations are
+// satisfied by either a per-symbol comment or a group comment; a comment
+// may also start with "Deprecated:". _test.go files are skipped (test
+// helpers are not API).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"internal/core"}
+	}
+	bad := 0
+	for _, dir := range dirs {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "exportlint: %d exported symbol(s) missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "exportlint: %s: %v\n", dir, err)
+		os.Exit(2)
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		for path, file := range pkg.Files {
+			bad += lintFile(fset, filepath.ToSlash(path), file)
+		}
+	}
+	return bad
+}
+
+func lintFile(fset *token.FileSet, path string, file *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		fmt.Fprintf(os.Stderr, "%s:%d: exported %s %s has no doc comment starting with %q\n", path, p.Line, kind, name, name)
+		bad++
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			if !docOK(d.Doc, d.Name.Name) {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			lintGenDecl(d, report)
+		}
+	}
+	return bad
+}
+
+// lintGenDecl checks type/const/var declarations. A group doc on the decl
+// covers all its specs; otherwise each exported spec needs its own doc.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	kind := map[token.Token]string{token.TYPE: "type", token.CONST: "const", token.VAR: "var"}[d.Tok]
+	if kind == "" {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			// A grouped `type (...)` block may document its members with one
+			// group comment, as long as it actually names this symbol.
+			if !docOK(s.Doc, s.Name.Name) && !docOK(d.Doc, s.Name.Name) && !docMentions(d.Doc, s.Name.Name) {
+				report(s.Pos(), kind, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				// A grouped const/var block is fine with one leading group
+				// comment (idiomatic for enums and error lists), a per-spec
+				// comment, or a trailing line comment on the spec.
+				if docAny(s.Doc) || docAny(s.Comment) || docAny(d.Doc) {
+					continue
+				}
+				report(name.Pos(), kind, name.Name)
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not public API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// docOK reports whether the comment group documents name: non-empty and
+// starting with the symbol name, a quoted form of it, or "Deprecated:".
+func docOK(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	text := strings.TrimSpace(doc.Text())
+	if text == "" {
+		return false
+	}
+	return strings.HasPrefix(text, name) ||
+		strings.HasPrefix(text, "A "+name) ||
+		strings.HasPrefix(text, "An "+name) ||
+		strings.HasPrefix(text, "The "+name) ||
+		strings.HasPrefix(text, "Deprecated:")
+}
+
+// docMentions reports whether the comment group names the symbol at all —
+// the looser bar applied to group comments on `type (...)` blocks.
+func docMentions(doc *ast.CommentGroup, name string) bool {
+	return doc != nil && strings.Contains(doc.Text(), name)
+}
+
+// docAny reports whether any non-empty comment is attached.
+func docAny(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.TrimSpace(doc.Text()) != ""
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Benchmark-regression smoke (CI): re-run the single-core recommendation
+# benchmark and fail if ns/op regressed more than MAX_RATIO× against the
+# committed BENCH_parallel.json baseline. The comparison is deliberately
+# loose (default 2×) because CI machines are noisy and -benchtime small;
+# it exists to catch algorithmic regressions (a kernel falling back to
+# per-candidate forwards, an arena leak re-introducing per-op allocation),
+# not single-digit-percent drift. See BENCHMARKS.md for methodology.
+#
+# Usage:
+#   ./scripts/bench_regression.sh                # default -benchtime 5x, ratio 2.0
+#   BENCHTIME=3x MAX_RATIO=3.0 ./scripts/bench_regression.sh
+#
+# Writes bench_regression.txt (uploaded as a CI artifact) with the
+# baseline, the measured value, and the verdict.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-5x}"
+MAX_RATIO="${MAX_RATIO:-2.0}"
+BASELINE_FILE="${BASELINE_FILE:-BENCH_parallel.json}"
+REPORT="${REPORT:-bench_regression.txt}"
+BENCH="BenchmarkRecommend/workers=1"
+
+baseline="$(awk -v key="\"$BENCH\"" '
+    $0 ~ key { if (match($0, /"ns_per_op": *[0-9]+/))
+        print substr($0, RSTART + 13, RLENGTH - 13) }
+' "$BASELINE_FILE")"
+if [[ -z "$baseline" || "$baseline" == "0" ]]; then
+    echo "bench-regression: no $BENCH baseline in $BASELINE_FILE" >&2
+    exit 2
+fi
+
+echo "bench-regression: running $BENCH (-benchtime $BENCHTIME)…" >&2
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench '^BenchmarkRecommend$/^workers=1$' -benchtime "$BENCHTIME" . | tee "$raw" >&2
+
+measured="$(awk '/^BenchmarkRecommend\/workers=1/ {
+    for (i = 3; i < NF; i++) if ($(i + 1) == "ns/op") { printf "%.0f", $i; exit }
+}' "$raw")"
+if [[ -z "$measured" ]]; then
+    echo "bench-regression: benchmark produced no ns/op line" >&2
+    exit 2
+fi
+
+verdict="$(awk -v m="$measured" -v b="$baseline" -v r="$MAX_RATIO" '
+    BEGIN { print (m > b * r) ? "FAIL" : "ok" }')"
+ratio="$(awk -v m="$measured" -v b="$baseline" 'BEGIN { printf "%.2f", m / b }')"
+
+{
+    echo "benchmark:   $BENCH"
+    echo "baseline:    $baseline ns/op ($BASELINE_FILE)"
+    echo "measured:    $measured ns/op (-benchtime $BENCHTIME)"
+    echo "ratio:       ${ratio}x (limit ${MAX_RATIO}x)"
+    echo "verdict:     $verdict"
+} | tee "$REPORT"
+
+if [[ "$verdict" == "FAIL" ]]; then
+    echo "bench-regression: $BENCH regressed ${ratio}x vs committed baseline (limit ${MAX_RATIO}x)" >&2
+    exit 1
+fi
