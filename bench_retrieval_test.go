@@ -1,0 +1,84 @@
+// Benchmark for the retrieval cold-start tier (DESIGN.md §13): a single
+// Lookup against a ~10k-entry store must stay sub-millisecond on one core
+// so the tier doubles as the fast path under shed pressure.
+// scripts/bench_regression.sh gates it in CI. Run with:
+//
+//	go test -run '^$' -bench BenchmarkRetrievalLookup -benchtime 100x
+package lite
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lite/internal/retrieval"
+)
+
+var (
+	retrBenchOnce  sync.Once
+	retrBenchStore *retrieval.Store
+	retrBenchQs    [][]float64
+)
+
+// retrBench bulk-loads a store with 10k synthetic entries drawn from 40
+// app families sharing per-family token vocabularies, plus 64 query
+// embeddings that resemble (but do not equal) stored apps.
+func retrBench() (*retrieval.Store, [][]float64) {
+	retrBenchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		const families, perFam = 40, 250 // 10k entries
+		embed := func(fam, variant int) []float64 {
+			toks := make([]string, 0, 48)
+			for i := 0; i < 32; i++ {
+				toks = append(toks, fmt.Sprintf("fam%d_tok%d", fam, i))
+			}
+			for i := 0; i < 16; i++ {
+				toks = append(toks, fmt.Sprintf("fam%d_v%d_%d", fam, variant, i))
+			}
+			ops := []string{fmt.Sprintf("fam%d_map", fam), fmt.Sprintf("fam%d_reduce", fam)}
+			return retrieval.Embed(toks, ops)
+		}
+		entries := make([]retrieval.Entry, 0, families*perFam)
+		for f := 0; f < families; f++ {
+			for v := 0; v < perFam; v++ {
+				entries = append(entries, retrieval.Entry{
+					App:       fmt.Sprintf("app-%d-%d", f, v),
+					Embedding: embed(f, v),
+					SizeMB:    float64(int(64) << uint(rng.Intn(8))),
+					EnvFP:     fmt.Sprintf("env%d", rng.Intn(3)),
+					Seconds:   10 + rng.Float64()*1000,
+				})
+			}
+		}
+		retrBenchStore = retrieval.FromEntries(entries)
+		for q := 0; q < 64; q++ {
+			retrBenchQs = append(retrBenchQs, embed(q%families, 9999+q))
+		}
+	})
+	return retrBenchStore, retrBenchQs
+}
+
+// BenchmarkRetrievalLookup measures one cold-start lookup against ~10k
+// entries: embed-free (the query embedding is precomputed, as in serving
+// where EmbedCode runs once per request before the cache), single-core.
+func BenchmarkRetrievalLookup(b *testing.B) {
+	store, qs := retrBench()
+	if store.Len() == 0 {
+		b.Fatal("empty bench store")
+	}
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if _, ok := store.Lookup(retrieval.Query{
+			Embedding: qs[i%len(qs)],
+			SizeMB:    1024,
+			EnvFP:     "env0",
+		}); ok {
+			hits++
+		}
+	}
+	if hits == 0 {
+		b.Fatal("benchmark lookups never hit — index is broken")
+	}
+}

@@ -45,24 +45,25 @@ func main() {
 	suite := experiments.NewSuite(opts)
 
 	runners := map[string]func() string{
-		"fig1":     func() string { return experiments.Figure1(suite).Format() },
-		"table6":   func() string { return experiments.Table6(suite).Format() },
-		"fig8":     func() string { return experiments.Figure8(suite).Format() },
-		"table7":   func() string { return experiments.Table7(suite).Format() },
-		"fig9":     func() string { return experiments.Figure9(suite).Format() },
-		"table8":   func() string { return experiments.Table8a(suite).Format() + "\n" + experiments.Table8b(suite).Format() },
-		"table9":   func() string { return experiments.Table9(suite).Format() },
-		"table10":  func() string { return experiments.Table10(suite).Format() },
-		"table11":  func() string { return experiments.Table11(suite).Format() },
-		"fig10":    func() string { return experiments.Figure10(suite, nil, 0).Format() },
-		"table12":  func() string { return experiments.Table12(suite).Format() },
-		"overhead": func() string { return experiments.ColdStartOverhead(suite).Format() },
-		"extra":    func() string { return experiments.Extra(suite).Format() },
-		"ablation": func() string { return experiments.Ablation(suite).Format() },
-		"faults":   func() string { return experiments.Faults(suite).Format() },
-		"sessions": func() string { return experiments.Sessions(suite).Format() },
+		"fig1":      func() string { return experiments.Figure1(suite).Format() },
+		"table6":    func() string { return experiments.Table6(suite).Format() },
+		"fig8":      func() string { return experiments.Figure8(suite).Format() },
+		"table7":    func() string { return experiments.Table7(suite).Format() },
+		"fig9":      func() string { return experiments.Figure9(suite).Format() },
+		"table8":    func() string { return experiments.Table8a(suite).Format() + "\n" + experiments.Table8b(suite).Format() },
+		"table9":    func() string { return experiments.Table9(suite).Format() },
+		"table10":   func() string { return experiments.Table10(suite).Format() },
+		"table11":   func() string { return experiments.Table11(suite).Format() },
+		"fig10":     func() string { return experiments.Figure10(suite, nil, 0).Format() },
+		"table12":   func() string { return experiments.Table12(suite).Format() },
+		"overhead":  func() string { return experiments.ColdStartOverhead(suite).Format() },
+		"extra":     func() string { return experiments.Extra(suite).Format() },
+		"ablation":  func() string { return experiments.Ablation(suite).Format() },
+		"faults":    func() string { return experiments.Faults(suite).Format() },
+		"sessions":  func() string { return experiments.Sessions(suite).Format() },
+		"coldstart": func() string { return experiments.ColdStartRetrieval(suite).Format() },
 	}
-	order := []string{"fig1", "fig9", "table6", "fig8", "table7", "table8", "table9", "table10", "table11", "fig10", "table12", "overhead", "extra", "ablation", "faults", "sessions"}
+	order := []string{"fig1", "fig9", "table6", "fig8", "table7", "table8", "table9", "table10", "table11", "fig10", "table12", "overhead", "extra", "ablation", "faults", "sessions", "coldstart"}
 
 	if *list {
 		ids := make([]string, 0, len(runners))

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"lite/internal/core"
+	"lite/internal/retrieval"
 	"lite/internal/serve"
 	"lite/internal/workload"
 )
@@ -180,6 +181,9 @@ func loadOrTrain(snapshotPath, modelPath string, configs, trainSizes int, seed i
 				return nil, nil, fmt.Errorf("liteserve: resuming from snapshot %s: %w", snapshotPath, err)
 			}
 			fmt.Printf("liteserve: resumed adapted model from snapshot %s\n", snapshotPath)
+			// Snapshots do not serialize the retrieval store; boot with an
+			// empty one and let absorbed feedback repopulate it.
+			tuner.Retrieval = retrieval.New()
 			return tuner, nil, nil
 		}
 	}
@@ -194,6 +198,7 @@ func loadOrTrain(snapshotPath, modelPath string, configs, trainSizes int, seed i
 			return nil, nil, err
 		}
 		fmt.Printf("liteserve: loaded tuner from %s (updates will use target-domain feedback only)\n", modelPath)
+		tuner.Retrieval = retrieval.New()
 		return tuner, nil, nil
 	}
 
@@ -218,6 +223,10 @@ func loadOrTrain(snapshotPath, modelPath string, configs, trainSizes int, seed i
 	tuner, ds := core.Train(workload.All(), opts)
 	fmt.Printf("liteserve: trained on %d runs (%d stage instances) in %v\n",
 		len(ds.Runs), len(ds.Instances), time.Since(start).Round(time.Millisecond))
+	// The training runs double as the retrieval cold-start corpus: unseen
+	// apps are served by their nearest historical neighbour from boot.
+	tuner.Retrieval = retrieval.BuildFromRuns(ds.Runs)
+	fmt.Printf("liteserve: retrieval store seeded with %d best-known configs\n", tuner.Retrieval.Len())
 
 	encoded := core.EncodeAll(tuner.Model.Encoder, ds.Instances)
 	source := sampleEncoded(encoded, sourceN, rand.New(rand.NewSource(seed+13)))

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lite/internal/instrument"
+	"lite/internal/retrieval"
 	"lite/internal/sparksim"
 	"lite/internal/workload"
 )
@@ -29,6 +30,16 @@ import (
 type Tuner struct {
 	Model *NECS
 	ACG   *CandidateGenerator
+
+	// Retrieval is the optional zero-execution cold-start store
+	// (internal/retrieval): when set, RecommendSafeCtx degrades through a
+	// "retrieval" tier (nearest historical neighbour's best-known config,
+	// adapted) before falling back to the ACG region center, and
+	// RecommendColdCtx can serve applications absent from the workload
+	// registry. The store is internally synchronized and shared across
+	// clones; it is not serialized with the tuner (Save/LoadTuner), so
+	// serving layers reattach it after loading a snapshot.
+	Retrieval *retrieval.Store
 
 	// NumCandidates is how many knob candidates Step 2 samples from the
 	// region of interest.
@@ -257,6 +268,10 @@ type Tier string
 const (
 	// TierNECS is the full pipeline: NECS ranking over ACG candidates.
 	TierNECS Tier = "necs"
+	// TierRetrieval serves the nearest historical application's best-known
+	// configuration, adapted to the caller's datasize and forced feasible
+	// for its environment — zero model forwards, zero simulator executions.
+	TierRetrieval Tier = "retrieval"
 	// TierACGRegion skips the estimator and recommends the center of the
 	// ACG region of interest (the RFR point prediction).
 	TierACGRegion Tier = "acg-region"
@@ -280,7 +295,7 @@ type SafeRecommendation struct {
 
 // RecommendSafe is Recommend with a graceful-degradation chain for serving:
 //
-//	NECS ranking  →  ACG region best  →  feasible safe default
+//	NECS ranking  →  retrieval neighbour  →  ACG region best  →  feasible safe default
 //
 // It never panics (each tier recovers internally and demotes), screens out
 // candidates the static Feasible check or the estimator's predicted-failure
@@ -318,6 +333,16 @@ func (t *Tuner) RecommendSafeCtx(ctx context.Context, app *sparksim.AppSpec, dat
 			return sr, err
 		}
 		sr.Notes = append(sr.Notes, "necs: "+note)
+	}
+
+	if cfg, note := t.tryRetrievalTierApp(app, data, env); note == "" {
+		sr.Config = cfg
+		sr.PredictedSeconds = math.NaN() // neighbour's seconds are not this app's
+		sr.Tier = TierRetrieval
+		sr.Overhead = time.Since(start)
+		return sr, nil
+	} else {
+		sr.Notes = append(sr.Notes, "retrieval: "+note)
 	}
 
 	if cfg, note := t.tryACGTier(app, data, env); note == "" {
@@ -412,6 +437,98 @@ func (t *Tuner) tryACGTier(app *sparksim.AppSpec, data sparksim.DataSpec, env sp
 	return cfg, ""
 }
 
+// tryRetrievalTierApp embeds the application specification and delegates to
+// tryRetrievalTier. The embedding is only computed when a store is attached
+// — the common degraded path on a store-less tuner stays embedding-free.
+func (t *Tuner) tryRetrievalTierApp(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) (cfg sparksim.Config, note string) {
+	if t.Retrieval == nil {
+		return cfg, "no store attached"
+	}
+	return t.tryRetrievalTier(retrieval.EmbedApp(app), data.SizeMB, env)
+}
+
+// tryRetrievalTier answers from the nearest historical neighbour: look up
+// the most similar (embedding, size bucket, env) tuple, rescale its
+// best-known config to the caller's datasize, and force it feasible for
+// the caller's environment. An empty note means success. Guarded against
+// panics from a corrupted store like the other tiers.
+func (t *Tuner) tryRetrievalTier(emb []float64, sizeMB float64, env sparksim.Environment) (cfg sparksim.Config, note string) {
+	defer func() {
+		if r := recover(); r != nil {
+			note = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	if t.Retrieval == nil {
+		return cfg, "no store attached"
+	}
+	if t.Retrieval.Len() == 0 {
+		return cfg, "store empty"
+	}
+	res, ok := t.Retrieval.Lookup(retrieval.Query{
+		Embedding: emb,
+		SizeMB:    sizeMB,
+		EnvFP:     retrieval.EnvFingerprint(env),
+	})
+	if !ok {
+		return cfg, "no neighbour above similarity floor"
+	}
+	cfg = ForceFeasible(retrieval.Adapt(res.Config, res.SizeMB, sizeMB), env)
+	for _, v := range cfg {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return cfg, "adapted neighbour config is not finite"
+		}
+	}
+	if !sparksim.Feasible(cfg, env) {
+		return cfg, "adapted neighbour config infeasible even after forcing"
+	}
+	return cfg, ""
+}
+
+// RecommendColdCtx serves an application absent from the workload registry
+// with zero simulator executions: the caller supplies a pre-computed
+// embedding (retrieval.EmbedCode over the request's code tokens and DAG
+// ops) and the chain degrades retrieval → safe default — there is no NECS
+// tier because the estimator has no stage features to encode for an app it
+// has never instrumented.
+func (t *Tuner) RecommendColdCtx(ctx context.Context, emb []float64, sizeMB float64, env sparksim.Environment) (SafeRecommendation, error) {
+	start := time.Now()
+	sr := SafeRecommendation{}
+	if err := ctx.Err(); err != nil {
+		return sr, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	if cfg, note := t.tryRetrievalTier(emb, sizeMB, env); note == "" {
+		sr.Config = cfg
+		sr.PredictedSeconds = math.NaN()
+		sr.Tier = TierRetrieval
+		sr.Overhead = time.Since(start)
+		return sr, nil
+	} else {
+		sr.Notes = append(sr.Notes, "retrieval: "+note)
+	}
+
+	cfg := ForceFeasible(sparksim.DefaultConfig(), env)
+	if !sparksim.Feasible(cfg, env) {
+		return sr, ErrNoFeasibleConfig
+	}
+	sr.Config = cfg
+	sr.PredictedSeconds = math.NaN()
+	sr.Tier = TierSafeDefault
+	sr.Overhead = time.Since(start)
+	return sr, nil
+}
+
+// RetrievalAnchor returns the nearest historical neighbour's configuration
+// adapted and forced feasible for (app, data, env) — a warm-start anchor
+// for online tuning sessions — and whether one was found. It never panics
+// and never degrades; a miss simply reports false.
+func (t *Tuner) RetrievalAnchor(app *sparksim.AppSpec, data sparksim.DataSpec, env sparksim.Environment) (sparksim.Config, bool) {
+	cfg, note := t.tryRetrievalTierApp(app, data, env)
+	return cfg, note == ""
+}
+
 // CollectFeedback records the outcome of executing a recommendation in the
 // "real production system" (online Step 4). When UpdateBatch feedbacks have
 // accumulated, it runs Adaptive Model Update against a sample of the source
@@ -462,6 +579,7 @@ func (t *Tuner) CloneForUpdate(seed int64) *Tuner {
 	return &Tuner{
 		Model:         t.Model.Clone(),
 		ACG:           t.ACG,
+		Retrieval:     t.Retrieval,
 		NumCandidates: t.NumCandidates,
 		Feedback:      append([]*Encoded(nil), t.Feedback...),
 		UpdateBatch:   t.UpdateBatch,

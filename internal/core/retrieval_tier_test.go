@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"lite/internal/instrument"
+	"lite/internal/retrieval"
+	"lite/internal/sparksim"
+	"lite/internal/workload"
+)
+
+// degradedTunerWithStore builds a tuner whose NECS tier cannot answer
+// (Model nil) but which carries a retrieval store seeded with one measured
+// run of each listed app.
+func degradedTunerWithStore(t *testing.T, apps ...string) (*Tuner, sparksim.Environment) {
+	t.Helper()
+	env := sparksim.ClusterC
+	var runs []instrument.AppInstance
+	for _, name := range apps {
+		app := workload.ByName(name)
+		if app == nil {
+			t.Fatalf("unknown workload %q", name)
+		}
+		run := instrument.Run(app.Spec, app.Spec.MakeData(512), env, sparksim.DefaultConfig())
+		if run.Result.Failed {
+			t.Fatalf("seed run for %s failed", name)
+		}
+		runs = append(runs, run)
+	}
+	return &Tuner{Retrieval: retrieval.BuildFromRuns(runs)}, env
+}
+
+func TestRetrievalTierServesAfterNECSFailure(t *testing.T) {
+	tuner, env := degradedTunerWithStore(t, "WordCount", "Terasort")
+	app := workload.ByName("WordCount").Spec
+	sr, err := tuner.RecommendSafe(app, app.MakeData(2048), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Tier != TierRetrieval {
+		t.Fatalf("tier = %q (notes %v), want %q", sr.Tier, sr.Notes, TierRetrieval)
+	}
+	if !sparksim.Feasible(sr.Config, env) {
+		t.Fatal("retrieval-tier config infeasible")
+	}
+	if len(sr.Notes) != 1 {
+		t.Fatalf("want exactly the necs note, got %v", sr.Notes)
+	}
+}
+
+func TestRetrievalMissFallsThroughToACG(t *testing.T) {
+	// Store holds only WordCount-family entries; force a miss by raising
+	// the similarity floor out of reach via a store that is empty instead:
+	// an empty store is the cleanest guaranteed miss.
+	tuner, env := degradedTunerWithStore(t, "WordCount")
+	tuner.Retrieval = retrieval.New() // empty: boot before any data
+	app := workload.ByName("WordCount").Spec
+	data := app.MakeData(512)
+
+	// Without an ACG the chain must land on the safe default with one note
+	// per skipped tier, in chain order.
+	sr, err := tuner.RecommendSafe(app, data, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Tier != TierSafeDefault {
+		t.Fatalf("tier = %q, want %q", sr.Tier, TierSafeDefault)
+	}
+	if len(sr.Notes) != 3 {
+		t.Fatalf("want notes for necs, retrieval, acg — got %v", sr.Notes)
+	}
+	for i, prefix := range []string{"necs: ", "retrieval: ", "acg: "} {
+		if len(sr.Notes[i]) < len(prefix) || sr.Notes[i][:len(prefix)] != prefix {
+			t.Fatalf("note %d = %q, want prefix %q", i, sr.Notes[i], prefix)
+		}
+	}
+}
+
+func TestRetrievalTierSkippedWithoutStore(t *testing.T) {
+	tuner := &Tuner{} // no model, no ACG, no store
+	app := workload.ByName("WordCount").Spec
+	env := sparksim.ClusterC
+	sr, err := tuner.RecommendSafe(app, app.MakeData(512), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Tier != TierSafeDefault {
+		t.Fatalf("tier = %q, want safe-default", sr.Tier)
+	}
+	if sr.Notes[1] != "retrieval: no store attached" {
+		t.Fatalf("retrieval note = %q", sr.Notes[1])
+	}
+}
+
+func TestCancelledCtxAbortsBeforeRetrieval(t *testing.T) {
+	// A cancelled context must abort the chain at the NECS tier with the
+	// ctx error — never demote into the retrieval tier.
+	tuner, env := degradedTunerWithStore(t, "WordCount")
+	app := workload.ByName("WordCount").Spec
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := tuner.RecommendSafeCtx(ctx, app, app.MakeData(512), env)
+	if err == nil {
+		t.Fatal("cancelled ctx must surface an error, not a demoted recommendation")
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRecommendColdCtxServesUnseenApp(t *testing.T) {
+	tuner, env := degradedTunerWithStore(t, "WordCount", "Terasort")
+	// An "unseen" app that shares WordCount's code/DAG vocabulary: embed
+	// the spec directly, as serve does for wire features.
+	emb := retrieval.EmbedApp(workload.ByName("WordCount").Spec)
+	sr, err := tuner.RecommendColdCtx(context.Background(), emb, 4096, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Tier != TierRetrieval {
+		t.Fatalf("tier = %q (notes %v), want retrieval", sr.Tier, sr.Notes)
+	}
+	if !sparksim.Feasible(sr.Config, env) {
+		t.Fatal("cold recommendation infeasible")
+	}
+
+	// A dissimilar embedding degrades to the safe default, still 200-able.
+	far := retrieval.Embed([]string{"completely", "unrelated", "vocabulary"}, []string{"noop"})
+	sr, err = tuner.RecommendColdCtx(context.Background(), far, 4096, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Tier != TierSafeDefault {
+		t.Fatalf("dissimilar embedding: tier = %q, want safe-default", sr.Tier)
+	}
+
+	// Cancellation aborts before any store work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tuner.RecommendColdCtx(ctx, emb, 4096, env); err != context.Canceled {
+		t.Fatalf("cancelled cold ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRetrievalAnchor(t *testing.T) {
+	tuner, env := degradedTunerWithStore(t, "WordCount")
+	app := workload.ByName("WordCount").Spec
+	cfg, ok := tuner.RetrievalAnchor(app, app.MakeData(1024), env)
+	if !ok {
+		t.Fatal("anchor miss on a store containing the app itself")
+	}
+	if !sparksim.Feasible(cfg, env) {
+		t.Fatal("anchor config infeasible")
+	}
+	tuner.Retrieval = nil
+	if _, ok := tuner.RetrievalAnchor(app, app.MakeData(1024), env); ok {
+		t.Fatal("anchor must miss without a store")
+	}
+}
+
+func TestCloneForUpdateSharesRetrievalStore(t *testing.T) {
+	apps := []*workload.App{workload.ByName("WordCount")}
+	opts := DefaultTrainOptions()
+	opts.NECS = fastConfig()
+	opts.Collect.ConfigsPerInstance = 2
+	opts.Collect.Sizes = []int{0}
+	opts.Collect.Clusters = []sparksim.Environment{sparksim.ClusterC}
+	tuner, ds := Train(apps, opts)
+	tuner.Retrieval = retrieval.BuildFromRuns(ds.Runs)
+	clone := tuner.CloneForUpdate(7)
+	if clone.Retrieval != tuner.Retrieval {
+		t.Fatal("CloneForUpdate must share the retrieval store pointer")
+	}
+}

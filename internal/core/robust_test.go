@@ -123,7 +123,7 @@ func TestRecommendSafeTierFallThrough(t *testing.T) {
 	if !sparksim.Feasible(rec.Config, env) {
 		t.Fatal("safe default infeasible")
 	}
-	if len(rec.Notes) != 2 {
+	if len(rec.Notes) != 3 {
 		t.Fatalf("expected one note per skipped tier, got %v", rec.Notes)
 	}
 }

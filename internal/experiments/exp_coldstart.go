@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"lite/internal/core"
+	"lite/internal/instrument"
 	"lite/internal/metrics"
+	"lite/internal/retrieval"
 	"lite/internal/sparksim"
 )
 
@@ -101,6 +104,108 @@ func (r *Table10Result) Format() string {
 		t.AddRow(app, fmtSeconds(r.Seconds[app]), fmt.Sprintf("%.2f", r.ETR[app]))
 	}
 	t.AddRow("MEAN", "", fmt.Sprintf("%.2f", r.MeanETR))
+	return t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Cold-start retrieval: zero-execution serving of held-out applications
+// ---------------------------------------------------------------------------
+
+// ColdStartRetrievalResult compares, per held-out application, the
+// zero-execution retrieval tier (nearest historical neighbour's best-known
+// config, adapted) against the safe default — the answer an unseen app
+// would otherwise get from the degradation chain's last tier.
+type ColdStartRetrievalResult struct {
+	Apps []string
+	// RetrSec / DefSec are simulated execution times of the retrieval and
+	// safe-default configs on the test datasize in cluster C.
+	RetrSec map[string]float64
+	DefSec  map[string]float64
+	// Neighbour and Similarity describe the retrieved entry ("" / 0 on a
+	// miss, where retrieval falls back to the safe default).
+	Neighbour  map[string]string
+	Similarity map[string]float64
+	Hits       int
+	// MeanSpeedup is the geometric-mean ratio default/retrieval (>1 means
+	// retrieval beats the safe default on held-out apps).
+	MeanSpeedup float64
+}
+
+// ColdStartRetrieval runs the leave-one-out sweep: for each application,
+// the retrieval store is built from every other application's measured
+// runs, the held-out app is embedded from its spec (exactly what the serve
+// layer does for wire features), and the adapted neighbour config races
+// the safe default on the large test datasize. No model training and no
+// simulator executions are spent on the decision itself — only on scoring
+// the outcome.
+func ColdStartRetrieval(s *Suite) *ColdStartRetrievalResult {
+	res := &ColdStartRetrievalResult{
+		RetrSec:    map[string]float64{},
+		DefSec:     map[string]float64{},
+		Neighbour:  map[string]string{},
+		Similarity: map[string]float64{},
+	}
+	env := sparksim.ClusterC
+	full := s.Dataset()
+	logSum, n := 0.0, 0
+	for _, app := range s.Apps {
+		name := app.Spec.Name
+		res.Apps = append(res.Apps, name)
+
+		var held []instrument.AppInstance
+		for _, run := range full.Runs {
+			if run.AppName != name {
+				held = append(held, run)
+			}
+		}
+		store := retrieval.BuildFromRuns(held)
+
+		data := app.Spec.MakeData(app.Sizes.Test)
+		def := core.ForceFeasible(sparksim.DefaultConfig(), env)
+		cfg := def
+		r, ok := store.Lookup(retrieval.Query{
+			Embedding: retrieval.EmbedApp(app.Spec),
+			SizeMB:    data.SizeMB,
+			EnvFP:     retrieval.EnvFingerprint(env),
+		})
+		if ok {
+			res.Hits++
+			res.Neighbour[name] = r.App
+			res.Similarity[name] = r.Similarity
+			adapted := core.ForceFeasible(retrieval.Adapt(r.Config, r.SizeMB, data.SizeMB), env)
+			if sparksim.Feasible(adapted, env) {
+				cfg = adapted
+			}
+		}
+		retrSec := capSeconds(sparksim.Simulate(app.Spec, data, env, cfg).Seconds)
+		defSec := capSeconds(sparksim.Simulate(app.Spec, data, env, def).Seconds)
+		res.RetrSec[name] = retrSec
+		res.DefSec[name] = defSec
+		logSum += math.Log(defSec / retrSec)
+		n++
+	}
+	res.MeanSpeedup = math.Exp(logSum / float64(n))
+	return res
+}
+
+// Format renders the cold-start retrieval comparison.
+func (r *ColdStartRetrievalResult) Format() string {
+	t := NewTable("Cold start: zero-execution retrieval vs safe default (held-out apps, test data, cluster C)",
+		"application", "neighbour", "sim", "retrieval t(s)", "default t(s)", "speedup")
+	for _, app := range r.Apps {
+		nb := r.Neighbour[app]
+		sim := "-"
+		if nb != "" {
+			sim = fmt.Sprintf("%.2f", r.Similarity[app])
+		} else {
+			nb = "(miss)"
+		}
+		t.AddRow(app, nb, sim,
+			fmtSeconds(r.RetrSec[app]), fmtSeconds(r.DefSec[app]),
+			fmt.Sprintf("%.2fx", r.DefSec[app]/r.RetrSec[app]))
+	}
+	t.AddRow("GEO-MEAN", fmt.Sprintf("%d/%d hits", r.Hits, len(r.Apps)), "", "", "",
+		fmt.Sprintf("%.2fx", r.MeanSpeedup))
 	return t.String()
 }
 

@@ -122,6 +122,29 @@ func post(t *testing.T, url string, body []byte) *http.Response {
 	return resp
 }
 
+// TestRoutingKeyUnknownAppPlacement: an app absent from the workload
+// registry must still hash to a proper (app, size bucket, env fingerprint)
+// key — not the raw-field fallback — so unseen-app traffic served by the
+// retrieval tier keeps one shard's cache hot instead of scattering.
+func TestRoutingKeyUnknownAppPlacement(t *testing.T) {
+	k1 := routingKey(recommendBody("NeverSeenApp", "C", 900))
+	k2 := routingKey(recommendBody("NeverSeenApp", "C", 1000))
+	if k1 != k2 {
+		t.Fatalf("same-bucket sizes routed apart: %q vs %q", k1, k2)
+	}
+	want, err := serve.RoutingKey("NeverSeenApp", 900, "C")
+	if err != nil {
+		t.Fatalf("serve.RoutingKey: %v", err)
+	}
+	if k1 != want {
+		t.Fatalf("router key %q diverges from serve.RoutingKey %q", k1, want)
+	}
+	// The raw-field fallback remains for bodies with no resolvable cluster.
+	if got := routingKey(recommendBody("NeverSeenApp", "Nowhere", 900)); got == k1 {
+		t.Fatal("unknown-cluster body must not share the placed key")
+	}
+}
+
 // TestRouterConsistentPlacement: the same body always lands on the same
 // shard, and the key spread uses more than one shard.
 func TestRouterConsistentPlacement(t *testing.T) {

@@ -5,7 +5,16 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"lite/internal/core"
 )
+
+// degradedCacheTTL caps how long a non-NECS answer may be served from
+// cache. A transient model failure demotes one compute down the
+// degradation chain; pinning that demoted answer for the full CacheTTL
+// would keep serving it long after the model recovered, so degraded tiers
+// expire on their own fast clock.
+const degradedCacheTTL = 2 * time.Second
 
 // ttlCache is the recommendation cache: key → response with a TTL, plus
 // singleflight deduplication so a stampede of concurrent misses on one key
@@ -77,7 +86,11 @@ func (c *ttlCache) getOrDo(ctx context.Context, key string, fn func() (Recommend
 			// previous snapshot's generation; flush already raised minGen, so
 			// the stale result is handed to its waiters but never cached.
 			if call.err == nil && call.resp.Generation >= c.minGen {
-				c.entries[key] = cacheEntry{resp: call.resp, expires: c.now().Add(c.ttl)}
+				ttl := c.ttl
+				if call.resp.Tier != string(core.TierNECS) && ttl > degradedCacheTTL {
+					ttl = degradedCacheTTL
+				}
+				c.entries[key] = cacheEntry{resp: call.resp, expires: c.now().Add(ttl)}
 			}
 			c.mu.Unlock()
 			close(call.done)

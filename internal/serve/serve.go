@@ -34,9 +34,11 @@ import (
 	"time"
 
 	"encoding/json"
+	"hash/fnv"
 
 	"lite/internal/core"
 	"lite/internal/metrics"
+	"lite/internal/retrieval"
 	"lite/internal/sparksim"
 	"lite/internal/wal"
 	"lite/internal/workload"
@@ -187,6 +189,14 @@ type Options struct {
 	ChaosCorruptEveryN int
 	ChaosPanicEveryN   int
 
+	// Retrieval is the zero-execution cold-start store shared by every
+	// tuner generation this server publishes (boot, retrain clones, FlipTo
+	// adoptions). When nil, the boot tuner's own store (if any) is adopted;
+	// when both are nil the retrieval tier is disabled and unseen-app
+	// requests degrade to the safe default. The store also grows online:
+	// every successfully absorbed feedback run is folded in.
+	Retrieval *retrieval.Store
+
 	// Seed drives the retrain RNG chain; each update uses Seed+generation.
 	Seed int64
 
@@ -294,6 +304,11 @@ type Server struct {
 
 	// sessions is the tuning-session store (sessions.go), set by Start.
 	sessions sessionsPtr
+
+	// retrieval is the cold-start store every published tuner shares; nil
+	// disables the retrieval tier. The store is internally synchronized, so
+	// the hot path reads it lock-free while feedback absorption grows it.
+	retrieval *retrieval.Store
 }
 
 type feedbackItem struct {
@@ -322,6 +337,20 @@ func New(tuner *core.Tuner, opts Options) *Server {
 	}
 	if opts.Float32 {
 		tuner.EnableF32Serving()
+	}
+	// One retrieval store serves every generation: prefer the injected one,
+	// else adopt whatever the boot tuner carries, and reattach on every
+	// publish (retrain clones share the pointer; FlipTo reattaches after
+	// loading, since snapshots do not serialize the store).
+	s.retrieval = opts.Retrieval
+	if s.retrieval == nil {
+		s.retrieval = tuner.Retrieval
+	}
+	tuner.Retrieval = s.retrieval
+	if s.retrieval != nil {
+		s.reg.GaugeFunc("lite_retrieval_entries", func() float64 {
+			return float64(s.retrieval.Len())
+		})
 	}
 	s.snap.Store(&Snapshot{Tuner: tuner, Gen: 0, CreatedAt: opts.Now()})
 	s.cache = newTTLCache(opts.CacheTTL, opts.Now)
@@ -462,6 +491,9 @@ func (s *Server) FlipTo(path string, gen uint64) (uint64, error) {
 		// is recompiled at every adoption (DESIGN.md §12).
 		tuner.EnableF32Serving()
 	}
+	// Snapshots do not serialize the retrieval store either; the adopted
+	// tuner keeps serving this server's live store.
+	tuner.Retrieval = s.retrieval
 	s.publishMu.Lock()
 	defer s.publishMu.Unlock()
 	cur := s.snap.Load()
@@ -571,41 +603,49 @@ func sizeBucket(sizeMB float64) int {
 func bucketSizeMB(b int) float64 { return math.Exp2(float64(b)) }
 
 // envFingerprint identifies an environment for cache keying: the hardware
-// profile plus whether faults are active (fault-injecting and clean
-// clusters must never share cache entries).
+// profile plus the active fault profile's actual knobs — two clusters
+// injecting different fault intensities must never share cache, batcher or
+// routing entries. It is the retrieval store's fingerprint, so cache keys
+// and retrieval entries agree on environment identity.
 func envFingerprint(env sparksim.Environment) string {
-	f := fmt.Sprintf("%s|%dx%d|%.1fGHz|%.0fGB|%.0fMTs|%.0fGbps",
-		env.Name, env.Nodes, env.Cores, env.FreqGHz, env.MemGB, env.MemSpeedMTs, env.NetGbps)
-	if env.Faults.Active() {
-		f += "|faults"
-	}
-	return f
+	return retrieval.EnvFingerprint(env)
 }
 
 func requestKey(appName string, sizeMB float64, env sparksim.Environment) string {
 	return fmt.Sprintf("%s|b%d|%s", appName, sizeBucket(sizeMB), envFingerprint(env))
 }
 
+// coldDefaultSizeMB is the datasize assumed for an unseen-app request that
+// does not state one (registered apps default to their catalogued test
+// size, which an unregistered app does not have).
+const coldDefaultSizeMB = 1024
+
 // RoutingKey is the sharding key a fleet router hashes to place a request:
 // the same (app, datasize bucket, env fingerprint) string the cache and the
 // batcher key on, so routing by it keeps each shard's cache and batcher hot
 // on its slice of the keyspace. sizeMB <= 0 defaults to the app's test
-// size, exactly as the serving path does. An unresolvable app or cluster
-// returns an error; the router may still forward such a request (the shard
-// answers 400), it just cannot place it better than arbitrarily.
+// size, exactly as the serving path does. An app absent from the workload
+// registry still gets a well-formed key over its raw (name, size bucket,
+// env) fields — unseen-app traffic served by the retrieval tier must land
+// on one consistent shard, not scatter its cache fleet-wide. An
+// unresolvable cluster returns an error; the router may still forward such
+// a request (the shard answers 400), it just cannot place it better than
+// arbitrarily.
 func RoutingKey(appName string, sizeMB float64, cluster string) (string, error) {
-	app := workload.ByName(appName)
-	if app == nil {
-		return "", badRequest("unknown application %q", appName)
-	}
 	env, ok := ClusterByName(cluster)
 	if !ok {
 		return "", badRequest("unknown cluster %q", cluster)
 	}
-	if sizeMB <= 0 {
-		sizeMB = app.Sizes.Test
+	if app := workload.ByName(appName); app != nil {
+		if sizeMB <= 0 {
+			sizeMB = app.Sizes.Test
+		}
+		return requestKey(app.Spec.Name, sizeMB, env), nil
 	}
-	return requestKey(app.Spec.Name, sizeMB, env), nil
+	if sizeMB <= 0 {
+		sizeMB = coldDefaultSizeMB
+	}
+	return requestKey(appName, sizeMB, env), nil
 }
 
 // ClusterByName resolves a cluster name (case-insensitive) to its
@@ -679,9 +719,20 @@ func (s *Server) recommend(ctx context.Context, req RecommendRequest) (Recommend
 		return RecommendResponse{}, err // dead on arrival
 	}
 
-	app, env, err := s.resolve(req.App, req.Cluster)
-	if err != nil {
-		return RecommendResponse{}, err
+	env, ok := ClusterByName(req.Cluster)
+	if !ok {
+		return RecommendResponse{}, badRequest("unknown cluster %q", req.Cluster)
+	}
+	app := workload.ByName(req.App)
+	if app == nil {
+		// Never-seen application: serve it from the retrieval cold-start
+		// tier when the request carries enough features to embed; reject
+		// with guidance otherwise.
+		if hasEmbeddableFeatures(req.Features) {
+			return s.recommendCold(ctx, req, env)
+		}
+		return RecommendResponse{}, badRequest(
+			"unknown application %q (send features.code and/or features.ops to serve it from the retrieval tier)", req.App)
 	}
 	if req.SizeMB <= 0 {
 		req.SizeMB = app.Sizes.Test
@@ -704,6 +755,7 @@ func (s *Server) recommend(ctx context.Context, req RecommendRequest) (Recommend
 	}
 
 	var resp RecommendResponse
+	var err error
 	if s.opts.DisableCache {
 		resp, err = compute()
 	} else {
@@ -726,6 +778,96 @@ func (s *Server) recommend(ctx context.Context, req RecommendRequest) (Recommend
 	// value copy, so restoring this caller's size does not leak across.
 	resp.SizeMB = req.SizeMB
 	return resp, nil
+}
+
+// hasEmbeddableFeatures reports whether a feature payload carries enough
+// signal to embed (code tokens and/or DAG ops).
+func hasEmbeddableFeatures(f *api.AppFeatures) bool {
+	return f != nil && (strings.TrimSpace(f.Code) != "" || len(f.Ops) > 0)
+}
+
+// recommendCold serves an application absent from the workload registry
+// through the retrieval tier: embed the request's features, look up the
+// nearest historical neighbour, adapt its best-known config. The path
+// shares the cache and the batcher with warm requests, keyed by the
+// feature content hash as well as the app name — two apps reusing a name
+// with different code must not share an answer.
+func (s *Server) recommendCold(ctx context.Context, req RecommendRequest, env sparksim.Environment) (RecommendResponse, error) {
+	if req.SizeMB <= 0 {
+		req.SizeMB = coldDefaultSizeMB
+	}
+	emb := retrieval.EmbedCode(req.Features.Code, req.Features.Ops)
+	key := fmt.Sprintf("cold:%s|%x|b%d|%s",
+		req.App, featureHash(req.Features), sizeBucket(req.SizeMB), envFingerprint(env))
+	scoreSize := bucketSizeMB(sizeBucket(req.SizeMB))
+
+	compute := func() (RecommendResponse, error) {
+		if s.opts.DisableBatcher {
+			return s.scoreCold(ctx, req.App, emb, scoreSize, env)
+		}
+		return s.batch.submit(ctx, key, func(bctx context.Context) (RecommendResponse, error) {
+			return s.scoreCold(bctx, req.App, emb, scoreSize, env)
+		})
+	}
+
+	var resp RecommendResponse
+	var err error
+	if s.opts.DisableCache {
+		resp, err = compute()
+	} else {
+		var hit, shared bool
+		resp, hit, shared, err = s.cache.getOrDo(ctx, key, compute)
+		if err == nil {
+			resp.Cached = hit
+			resp.Coalesced = resp.Coalesced || shared
+			if hit {
+				s.reg.Counter("lite_cache_hits_total").Inc()
+			} else {
+				s.reg.Counter("lite_cache_misses_total").Inc()
+			}
+		}
+	}
+	if err != nil {
+		return RecommendResponse{}, err
+	}
+	resp.SizeMB = req.SizeMB
+	return resp, nil
+}
+
+// featureHash fingerprints a feature payload for cache/batch keying.
+func featureHash(f *api.AppFeatures) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(f.Code))
+	for _, op := range f.Ops {
+		h.Write([]byte{0})
+		h.Write([]byte(op))
+	}
+	return h.Sum64()
+}
+
+// scoreCold answers an unseen-app request against the current snapshot via
+// the retrieval → safe-default chain (there is no NECS tier for an app the
+// estimator has never instrumented).
+func (s *Server) scoreCold(ctx context.Context, appName string, emb []float64, sizeMB float64, env sparksim.Environment) (RecommendResponse, error) {
+	snap := s.snap.Load()
+	sr, err := snap.Tuner.RecommendColdCtx(ctx, emb, sizeMB, env)
+	if err != nil {
+		if isCtxErr(err) {
+			return RecommendResponse{}, err
+		}
+		return RecommendResponse{}, fmt.Errorf("serve: no feasible configuration: %w", err)
+	}
+	s.reg.Counter("lite_recommendations_total{tier=\"" + string(sr.Tier) + "\"}").Inc()
+	s.reg.Counter("lite_cold_requests_total{tier=\"" + string(sr.Tier) + "\"}").Inc()
+	return RecommendResponse{
+		App:        appName,
+		SizeMB:     sizeMB,
+		Cluster:    env.Name,
+		Config:     configByName(sr.Config),
+		Tier:       string(sr.Tier),
+		Generation: snap.Gen,
+		BatchSize:  1,
+	}, nil
 }
 
 // score runs the actual model inference against the current snapshot. The

@@ -6,8 +6,10 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"lite/internal/core"
 	"lite/internal/session"
 	"lite/internal/sparksim"
+	"lite/internal/workload"
 	"lite/pkg/api"
 )
 
@@ -123,20 +125,45 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request, st 
 	// exact size — the config the session must never regress past by more
 	// than the bound, and the anchor trial 0 measures.
 	snap := s.snap.Load()
-	sr, err := snap.Tuner.RecommendSafeCtx(ctx, app.Spec, app.Spec.MakeData(req.SizeMB), env)
+	data := app.Spec.MakeData(req.SizeMB)
+	sr, err := snap.Tuner.RecommendSafeCtx(ctx, app.Spec, data, env)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
+	baseCfg, basePred := s.warmStartBaseline(snap, app, data, env, sr)
 	sess, err := st.Create(app.Spec.Name, req.SizeMB, env.Name,
 		session.Strategy(req.Strategy), req.MaxTrials, req.SafetyBound,
-		sr.Config, sr.PredictedSeconds)
+		baseCfg, basePred)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	s.reg.Counter("lite_sessions_created_total").Inc()
 	s.writeJSON(w, http.StatusCreated, sess)
+}
+
+// warmStartBaseline picks the session's starting configuration: the static
+// safe recommendation, unless the retrieval store knows a neighbour whose
+// adapted best-known config the live model scores strictly better — then
+// the session starts exploring from the neighbour instead of re-learning
+// it. Only a NECS-tier recommendation is challenged: degraded tiers either
+// already are the retrieval answer or carry no estimate to compare.
+func (s *Server) warmStartBaseline(snap *Snapshot, app *workload.App, data sparksim.DataSpec, env sparksim.Environment, sr core.SafeRecommendation) (sparksim.Config, float64) {
+	if sr.Tier != core.TierNECS || snap.Tuner.Model == nil {
+		return sr.Config, sr.PredictedSeconds
+	}
+	anchor, ok := snap.Tuner.RetrievalAnchor(app.Spec, data, env)
+	if !ok {
+		return sr.Config, sr.PredictedSeconds
+	}
+	scorer := snap.Tuner.Model.NewAppScorer(app.Spec, data, env)
+	pred, finite := scorer.ScoreChecked(anchor)
+	if !finite || math.IsNaN(pred) || math.IsInf(pred, 0) || pred >= sr.PredictedSeconds {
+		return sr.Config, sr.PredictedSeconds
+	}
+	s.reg.Counter("lite_session_retrieval_warmstarts_total").Inc()
+	return anchor, pred
 }
 
 // handleSessionByID is the item route: GET reads (with trial history),

@@ -215,8 +215,14 @@ func (s *Server) runUpdateLoop() (clean bool) {
 }
 
 // absorb executes one feedback run and appends it to the pending batch.
+// Successful runs also grow the retrieval cold-start store, so live
+// feedback sharpens unseen-app answers without waiting for a retrain.
 func (s *Server) absorb(pending []pendingRun, item feedbackItem) []pendingRun {
 	run := instrument.Run(item.app.Spec, item.app.Spec.MakeData(item.req.SizeMB), item.env, item.cfg)
+	if s.retrieval != nil && !run.Result.Failed {
+		s.retrieval.AddRun(run)
+		s.reg.Counter("lite_retrieval_adds_total").Inc()
+	}
 	return append(pending, pendingRun{run: run, req: item.req, seq: item.seq})
 }
 

@@ -74,6 +74,23 @@ type RecommendRequest struct {
 	SizeMB float64 `json:"size_mb"`
 	// Cluster names one of the simulated environments (A, B or C).
 	Cluster string `json:"cluster"`
+	// Features optionally carries enough of the application to embed it.
+	// When App is absent from the server's workload registry but Features
+	// is present, the request is served from the retrieval cold-start tier
+	// (nearest historical neighbour) instead of being rejected with 400.
+	Features *AppFeatures `json:"features,omitempty"`
+}
+
+// AppFeatures is the self-describing feature payload for applications the
+// server has never trained on: raw stage source code and/or the DAG
+// operation labels. At least one of the two must be non-empty for the
+// request to be embeddable.
+type AppFeatures struct {
+	// Code is the application's (concatenated stage) source code; the
+	// server tokenizes it with the same tokenizer the NECS vocabulary uses.
+	Code string `json:"code,omitempty"`
+	// Ops lists the stage-DAG operation labels (map, reduceByKey, …).
+	Ops []string `json:"ops,omitempty"`
 }
 
 // RecommendResponse is the JSON answer to /v1/recommend.
@@ -89,8 +106,9 @@ type RecommendResponse struct {
 	Config map[string]float64 `json:"config"`
 	// PredictedSeconds is NECS's estimate; absent on degraded tiers.
 	PredictedSeconds *float64 `json:"predicted_seconds,omitempty"`
-	// Tier reports which degradation level answered (necs, acg-region,
-	// safe-default).
+	// Tier reports which degradation level answered (necs, retrieval,
+	// acg-region, safe-default). Unseen-app requests served via Features
+	// always report retrieval or safe-default.
 	Tier string `json:"tier"`
 	// Generation is the model snapshot that produced the answer.
 	Generation uint64 `json:"generation"`

@@ -7,12 +7,17 @@
 # per-candidate forwards, an arena leak re-introducing per-op allocation),
 # not single-digit-percent drift. See BENCHMARKS.md for methodology.
 #
+# Also gates BenchmarkRetrievalLookup with an *absolute* bound
+# (MAX_LOOKUP_NS, default 1ms/op): the retrieval cold-start tier promises
+# sub-millisecond lookups on a ~10k-entry store, so an absolute budget is
+# the contract rather than a ratio against a committed baseline.
+#
 # Usage:
 #   ./scripts/bench_regression.sh                # default -benchtime 5x, ratio 2.0
-#   BENCHTIME=3x MAX_RATIO=3.0 ./scripts/bench_regression.sh
+#   BENCHTIME=3x MAX_RATIO=3.0 MAX_LOOKUP_NS=2000000 ./scripts/bench_regression.sh
 #
 # Writes bench_regression.txt (uploaded as a CI artifact) with the
-# baseline, the measured value, and the verdict.
+# baseline, the measured values, and the verdicts.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +27,8 @@ MAX_RATIO="${MAX_RATIO:-2.0}"
 BASELINE_FILE="${BASELINE_FILE:-BENCH_parallel.json}"
 REPORT="${REPORT:-bench_regression.txt}"
 BENCH="BenchmarkRecommend/workers=1"
+LOOKUP_BENCH="BenchmarkRetrievalLookup"
+MAX_LOOKUP_NS="${MAX_LOOKUP_NS:-1000000}"
 
 baseline="$(awk -v key="\"$BENCH\"" '
     $0 ~ key { if (match($0, /"ns_per_op": *[0-9]+/))
@@ -49,15 +56,39 @@ verdict="$(awk -v m="$measured" -v b="$baseline" -v r="$MAX_RATIO" '
     BEGIN { print (m > b * r) ? "FAIL" : "ok" }')"
 ratio="$(awk -v m="$measured" -v b="$baseline" 'BEGIN { printf "%.2f", m / b }')"
 
+echo "bench-regression: running $LOOKUP_BENCH (-benchtime $BENCHTIME)…" >&2
+lookup_raw="$(mktemp)"
+trap 'rm -f "$raw" "$lookup_raw"' EXIT
+go test -run '^$' -bench "^${LOOKUP_BENCH}\$" -benchtime "$BENCHTIME" . | tee "$lookup_raw" >&2
+
+lookup_measured="$(awk '/^BenchmarkRetrievalLookup/ {
+    for (i = 2; i < NF; i++) if ($(i + 1) == "ns/op") { printf "%.0f", $i; exit }
+}' "$lookup_raw")"
+if [[ -z "$lookup_measured" ]]; then
+    echo "bench-regression: $LOOKUP_BENCH produced no ns/op line" >&2
+    exit 2
+fi
+lookup_verdict="$(awk -v m="$lookup_measured" -v lim="$MAX_LOOKUP_NS" '
+    BEGIN { print (m > lim) ? "FAIL" : "ok" }')"
+
 {
     echo "benchmark:   $BENCH"
     echo "baseline:    $baseline ns/op ($BASELINE_FILE)"
     echo "measured:    $measured ns/op (-benchtime $BENCHTIME)"
     echo "ratio:       ${ratio}x (limit ${MAX_RATIO}x)"
     echo "verdict:     $verdict"
+    echo
+    echo "benchmark:   $LOOKUP_BENCH"
+    echo "measured:    $lookup_measured ns/op (-benchtime $BENCHTIME)"
+    echo "budget:      $MAX_LOOKUP_NS ns/op (absolute)"
+    echo "verdict:     $lookup_verdict"
 } | tee "$REPORT"
 
 if [[ "$verdict" == "FAIL" ]]; then
     echo "bench-regression: $BENCH regressed ${ratio}x vs committed baseline (limit ${MAX_RATIO}x)" >&2
+    exit 1
+fi
+if [[ "$lookup_verdict" == "FAIL" ]]; then
+    echo "bench-regression: $LOOKUP_BENCH ${lookup_measured} ns/op exceeds ${MAX_LOOKUP_NS} ns/op budget" >&2
     exit 1
 fi

@@ -125,6 +125,24 @@ if [[ "$code" != "200" ]]; then
 fi
 echo "serve-smoke: session lifecycle OK (proposal → report → promotion → close)"
 
+# A never-seen app with embeddable features must be served by the
+# retrieval cold-start tier (DESIGN.md §13), not rejected with a 400: the
+# boot-trained dataset seeds the retrieval store, and these WordCount-like
+# tokens should land on a WordCount-family neighbour.
+code="$(curl -s -o "$workdir/cold.json" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' \
+    -d '{"app":"BrandNewLogCounter","size_mb":2048,"cluster":"C","features":{"code":"val lines = sc.textFile(inputPath)\nval words = lines.flatMap(line => line.split(\" \")).map(word => (word, 1L))\nval counts = words.reduceByKey(_ + _)\ncounts.saveAsTextFile(outputPath)","ops":["textFile","flatMap","map","reduceByKey"]}}' \
+    "$base/v1/recommend")"
+if [[ "$code" != "200" ]]; then
+    echo "serve-smoke: never-seen-app /v1/recommend returned $code: $(cat "$workdir/cold.json")" >&2
+    exit 1
+fi
+if ! grep -q '"tier":"retrieval"' "$workdir/cold.json"; then
+    echo "serve-smoke: never-seen app was not served from the retrieval tier: $(cat "$workdir/cold.json")" >&2
+    exit 1
+fi
+echo "serve-smoke: never-seen app served 200 from retrieval tier ($(head -c 120 "$workdir/cold.json")…)"
+
 # Every /v1 failure answers with the unified error envelope.
 code="$(curl -s -o "$workdir/err.json" -w '%{http_code}' \
     "$base/v1/tuning/sessions/no.1.C.00000000")"
